@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks and ablations.
+//!
+//! * bitmap representation ablation — the paper uses dense `N/8`-byte
+//!   bitmaps and names sparse sets as future work; we measure both;
+//! * index granularity ablation — Glimpse-style block addressing vs a
+//!   doc-precise index (index size vs query verification cost);
+//! * scope-consistency propagation cost vs dependency-chain depth;
+//! * query parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hac_core::HacFs;
+use hac_corpus::{generate_docs, DocCollectionSpec, Vocabulary};
+use hac_index::{tokenize_text, Bitmap, DocId, Granularity, Index};
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+fn bench_bitmaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_ablation");
+    for &density in &[2u64, 16, 128] {
+        let universe = 65_536u64;
+        let mk = |sparse: bool| {
+            let mut b = if sparse {
+                Bitmap::new_sparse()
+            } else {
+                Bitmap::new_dense()
+            };
+            for i in (0..universe).step_by(density as usize) {
+                b.insert(DocId(i));
+            }
+            b
+        };
+        let dense_a = mk(false);
+        let dense_b = {
+            let mut b = Bitmap::new_dense();
+            for i in (0..universe).step_by((density * 2) as usize) {
+                b.insert(DocId(i + 1));
+            }
+            b
+        };
+        let sparse_a = mk(true);
+        let sparse_b = Bitmap::Sparse(dense_b.clone().into_sparse());
+        group.bench_with_input(BenchmarkId::new("dense_and", density), &density, |b, _| {
+            b.iter(|| dense_a.and(&dense_b))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_and", density), &density, |b, _| {
+            b.iter(|| sparse_a.and(&sparse_b))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_or", density), &density, |b, _| {
+            b.iter(|| dense_a.or(&dense_b))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_or", density), &density, |b, _| {
+            b.iter(|| sparse_a.or(&sparse_b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granularity_ablation");
+    // A corpus shared by both indexes.
+    let vocab = Vocabulary::new(4000, 1.0);
+    let mut rng = hac_corpus::words::rng(3);
+    let docs: Vec<Vec<hac_index::Token>> = (0..800)
+        .map(|_| tokenize_text(vocab.sample_text(&mut rng, 120).as_bytes()))
+        .collect();
+    let provider: std::collections::HashMap<DocId, Vec<hac_index::Token>> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (DocId(i as u64), t.clone()))
+        .collect();
+    for (name, granularity) in [
+        ("exact", Granularity::Exact),
+        ("block16", Granularity::Block { docs_per_block: 16 }),
+        ("block64", Granularity::Block { docs_per_block: 64 }),
+    ] {
+        let mut index = Index::new(granularity);
+        for (i, tokens) in docs.iter().enumerate() {
+            index.add_doc(DocId(i as u64), 1, tokens);
+        }
+        let term = hac_index::ContentExpr::term(vocab.word_at_rank(40));
+        let universe = index.all_docs();
+        group.bench_function(BenchmarkId::new("query", name), |b| {
+            b.iter(|| index.eval(&term, &universe, &provider))
+        });
+        // Record the size trade-off alongside (printed once).
+        eprintln!(
+            "granularity {name}: postings {} bytes, total {} bytes",
+            index.stats().postings_bytes,
+            index.stats().total_bytes()
+        );
+    }
+    group.finish();
+}
+
+fn bench_resync_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resync_propagation");
+    group.sample_size(20);
+    for &depth in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("chain_depth", depth),
+            &depth,
+            |b, &depth| {
+                // Build once per iteration batch: corpus + a chain of semantic
+                // directories, each refining its parent.
+                let fs = HacFs::new();
+                generate_docs(
+                    fs.vfs(),
+                    &p("/db"),
+                    &DocCollectionSpec {
+                        files: 120,
+                        mean_words: 60,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                fs.ssync(&p("/")).unwrap();
+                let vocab = Vocabulary::new(4000, 1.0);
+                let mut dir = String::from("/c0");
+                fs.smkdir(&p(&dir), vocab.word_at_rank(0)).unwrap();
+                for d in 1..depth {
+                    let child = format!("{dir}/c{d}");
+                    fs.smkdir(&p(&child), vocab.word_at_rank(d)).unwrap();
+                    dir = child;
+                }
+                // Measured: a top-level edit that must propagate down the chain.
+                let mut toggle = false;
+                b.iter(|| {
+                    toggle = !toggle;
+                    if toggle {
+                        fs.save(&p("/db/extra.txt"), b"bo ceda bo dible").unwrap();
+                    } else {
+                        fs.unlink(&p("/db/extra.txt")).unwrap();
+                    }
+                    fs.ssync(&p("/")).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_parse(c: &mut Criterion) {
+    let q = "fingerprint AND (from:alice OR \"ridge endings\") AND NOT ~2:murdre AND path(/projects/fp)";
+    c.bench_function("query_parse", |b| b.iter(|| hac_query::parse(q).unwrap()));
+}
+
+criterion_group!(
+    benches,
+    bench_bitmaps,
+    bench_index_granularity,
+    bench_resync_depth,
+    bench_query_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! The Andrew Benchmark (Table 1's workload).
+//!
+//! Five phases, as the paper describes them:
+//!
+//! 1. **Makedir** — construct a destination directory hierarchy identical
+//!    to the source hierarchy;
+//! 2. **Copy** — copy each file from the source into the destination;
+//! 3. **Scan** — recursively traverse the destination, examining every
+//!    file's status without reading data;
+//! 4. **Read** — read every byte of every file;
+//! 5. **Make** — "compile and link" the files (a deterministic CPU-bound
+//!    lex + fold pass per source file, objects written back, then linked
+//!    per module — reproducing the phase's compute-to-I/O ratio).
+
+use std::time::{Duration, Instant};
+
+use hac_corpus::{generate_source_tree, SourceTreeSpec};
+use hac_vfs::{walk, NodeKind, VPath, Vfs};
+
+use crate::fsops::FsOps;
+
+/// Per-phase wall-clock times of one Andrew run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AndrewReport {
+    /// Phase 1.
+    pub makedir: Duration,
+    /// Phase 2.
+    pub copy: Duration,
+    /// Phase 3.
+    pub scan: Duration,
+    /// Phase 4.
+    pub read: Duration,
+    /// Phase 5.
+    pub make: Duration,
+}
+
+impl AndrewReport {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.makedir + self.copy + self.scan + self.read + self.make
+    }
+
+    /// Adds another run's times (for iteration averaging).
+    pub fn accumulate(&mut self, other: &AndrewReport) {
+        self.makedir += other.makedir;
+        self.copy += other.copy;
+        self.scan += other.scan;
+        self.read += other.read;
+        self.make += other.make;
+    }
+}
+
+/// The prepared source media: a plain VFS holding the source tree.
+pub struct AndrewSource {
+    vfs: Vfs,
+    root: VPath,
+    dirs: Vec<VPath>,
+    files: Vec<(VPath, Vec<u8>)>,
+}
+
+impl AndrewSource {
+    /// Generates the source tree once; runs share it.
+    pub fn prepare(spec: &SourceTreeSpec) -> Self {
+        let vfs = Vfs::new();
+        let root = VPath::parse("/src").expect("static path");
+        generate_source_tree(&vfs, &root, spec).expect("source generation");
+        let mut dirs = Vec::new();
+        let mut files = Vec::new();
+        for entry in walk(&vfs, &root).expect("walk source") {
+            match entry.attr.kind {
+                NodeKind::Dir => dirs.push(entry.path),
+                NodeKind::File => {
+                    let content = vfs.read_file(&entry.path).expect("read source").to_vec();
+                    files.push((entry.path, content));
+                }
+                NodeKind::Symlink => {}
+            }
+        }
+        AndrewSource {
+            vfs,
+            root,
+            dirs,
+            files,
+        }
+    }
+
+    /// Number of files in the source tree.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes in the source tree.
+    pub fn byte_count(&self) -> u64 {
+        self.files.iter().map(|(_, c)| c.len() as u64).sum()
+    }
+
+    /// Access to the backing namespace (diagnostics).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+}
+
+fn dest_path(source_root: &VPath, dest_root: &VPath, path: &VPath) -> VPath {
+    path.rebase(source_root, dest_root)
+        .expect("source paths live under the source root")
+}
+
+/// Runs all five phases against `target`, with run-unique `dest_root`
+/// (callers iterate with distinct roots so state never collides).
+pub fn run_andrew(source: &AndrewSource, target: &dyn FsOps, dest_root: &VPath) -> AndrewReport {
+    let mut report = AndrewReport::default();
+
+    // Phase 1: Makedir.
+    let t = Instant::now();
+    target.mkdir(dest_root).expect("mkdir dest root");
+    for dir in &source.dirs {
+        if dir == &source.root {
+            continue;
+        }
+        target
+            .mkdir(&dest_path(&source.root, dest_root, dir))
+            .expect("mkdir");
+    }
+    report.makedir = t.elapsed();
+
+    // Phase 2: Copy.
+    let t = Instant::now();
+    for (path, content) in &source.files {
+        target
+            .save(&dest_path(&source.root, dest_root, path), content)
+            .expect("copy");
+    }
+    report.copy = t.elapsed();
+
+    // Phase 3: Scan (recursive status examination, no data reads).
+    let t = Instant::now();
+    let mut stack = vec![dest_root.clone()];
+    let mut scanned = 0u64;
+    while let Some(dir) = stack.pop() {
+        for (name, is_dir) in target.readdir(&dir).expect("readdir") {
+            let child = dir.join(&name).expect("join");
+            scanned += target.stat_size(&child).expect("stat");
+            if is_dir {
+                stack.push(child);
+            }
+        }
+    }
+    report.scan = t.elapsed();
+    std::hint::black_box(scanned);
+
+    // Phase 4: Read every byte.
+    let t = Instant::now();
+    let mut total = 0u64;
+    for (path, _) in &source.files {
+        let data = target
+            .read(&dest_path(&source.root, dest_root, path))
+            .expect("read");
+        total += data.iter().map(|b| *b as u64).sum::<u64>();
+    }
+    report.read = t.elapsed();
+    std::hint::black_box(total);
+
+    // Phase 5: Make (compile every .c, link per module, final link).
+    let t = Instant::now();
+    let mut module_objects: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
+    for (path, _) in &source.files {
+        if !path.to_string().ends_with(".c") {
+            continue;
+        }
+        let dest = dest_path(&source.root, dest_root, path);
+        let src = target.read(&dest).expect("read for compile");
+        let object = compile(&src);
+        let obj_path = VPath::parse(&format!("{dest}.o")).expect("object path");
+        target.save(&obj_path, &object).expect("write object");
+        let module = dest.parent().map(|p| p.to_string()).unwrap_or_default();
+        module_objects
+            .entry(module)
+            .or_default()
+            .extend_from_slice(&object);
+    }
+    let mut image = Vec::new();
+    for (module, objects) in &module_objects {
+        let lib_path = VPath::parse(&format!("{module}/lib.a")).expect("lib path");
+        target.save(&lib_path, objects).expect("write archive");
+        image.extend_from_slice(objects);
+    }
+    target
+        .save(&dest_root.join("a.out").expect("join"), &image)
+        .expect("final link");
+    report.make = t.elapsed();
+
+    report
+}
+
+/// Deterministic CPU-bound "compiler": lex the source into tokens and fold
+/// each through a few dozen rounds of mixing, emitting 8 object bytes per
+/// token. The work scales with source size, like a real compile.
+fn compile(src: &[u8]) -> Vec<u8> {
+    let tokens = hac_index::tokenize_text(src);
+    let mut out = Vec::with_capacity(tokens.len() * 8);
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for token in &tokens {
+        if let Some(word) = token.as_word() {
+            let mut h = state;
+            for &b in word.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            // "Optimization passes": extra mixing rounds per token. The
+            // round count is calibrated so the Make phase is roughly half
+            // of the UNIX total, matching the paper's profile (19s of 38s).
+            for round in 0..6u64 {
+                h = h.rotate_left(13) ^ h.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(round);
+            }
+            state = state.wrapping_add(h);
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Runs `iters` Andrew iterations against a fresh destination each time,
+/// returning accumulated phase times. One untimed warmup iteration runs
+/// first so allocator and cache state do not favour whichever target is
+/// measured later.
+pub fn run_iterations(source: &AndrewSource, target: &dyn FsOps, iters: usize) -> AndrewReport {
+    let warmup = VPath::parse("/warmup").expect("static path");
+    let _ = run_andrew(source, target, &warmup);
+    let mut acc = AndrewReport::default();
+    for i in 0..iters {
+        let dest = VPath::parse(&format!("/dest{i}")).expect("static path");
+        let report = run_andrew(source, target, &dest);
+        acc.accumulate(&report);
+    }
+    acc
+}
+
+/// Measures several targets with round-robin interleaved iterations (after
+/// one warmup run each), so clock drift and allocator state cannot bias a
+/// target that happens to run later.
+pub fn measure_interleaved(
+    source: &AndrewSource,
+    targets: &[&dyn FsOps],
+    iters: usize,
+) -> Vec<AndrewReport> {
+    let warmup = VPath::parse("/warmup").expect("static path");
+    for target in targets {
+        let _ = run_andrew(source, *target, &warmup);
+    }
+    let mut reports = vec![AndrewReport::default(); targets.len()];
+    for i in 0..iters {
+        for (t, target) in targets.iter().enumerate() {
+            let dest = VPath::parse(&format!("/dest{i}")).expect("static path");
+            let report = run_andrew(source, *target, &dest);
+            reports[t].accumulate(&report);
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsops::{HacTarget, RawVfs};
+
+    fn small_spec() -> SourceTreeSpec {
+        SourceTreeSpec {
+            modules: 3,
+            files_per_module: 2,
+            functions_per_file: 2,
+            statements: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn andrew_runs_on_raw_and_hac_with_identical_results() {
+        let source = AndrewSource::prepare(&small_spec());
+        assert!(source.file_count() > 0);
+
+        let raw = RawVfs::new();
+        let hac = HacTarget::new();
+        let dest = VPath::parse("/dest0").unwrap();
+        run_andrew(&source, &raw, &dest);
+        run_andrew(&source, &hac, &dest);
+
+        // Both targets end with the same final image.
+        let raw_img = raw.read(&VPath::parse("/dest0/a.out").unwrap()).unwrap();
+        let hac_img = hac.read(&VPath::parse("/dest0/a.out").unwrap()).unwrap();
+        assert_eq!(raw_img, hac_img);
+        assert!(!raw_img.is_empty());
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_scales() {
+        let a = compile(b"int main(void) { return alpha + beta; }");
+        let b = compile(b"int main(void) { return alpha + beta; }");
+        assert_eq!(a, b);
+        let longer = compile(b"int main(void) { return alpha + beta + gamma + delta; }");
+        assert!(longer.len() > a.len());
+    }
+
+    #[test]
+    fn iterations_use_fresh_destinations() {
+        let source = AndrewSource::prepare(&small_spec());
+        let raw = RawVfs::new();
+        let report = run_iterations(&source, &raw, 2);
+        assert!(report.total() > Duration::ZERO);
+        assert!(raw.read(&VPath::parse("/dest0/a.out").unwrap()).is_ok());
+        assert!(raw.read(&VPath::parse("/dest1/a.out").unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,57 @@
+//! §4 in-text overhead figures: metadata space, per-process memory, and
+//! the per-semantic-directory result bitmap.
+//!
+//! `cargo run -p hac-bench --release --bin overheads`
+
+use hac_bench::arg_usize;
+use hac_bench::tables::{print_table, run_overheads};
+use hac_corpus::{DocCollectionSpec, SourceTreeSpec};
+
+fn main() {
+    let tree = SourceTreeSpec {
+        modules: arg_usize("modules", 10),
+        files_per_module: arg_usize("files-per-module", 8),
+        ..Default::default()
+    };
+    let docs = DocCollectionSpec {
+        files: arg_usize("files", 2000),
+        mean_words: arg_usize("words", 150),
+        ..Default::default()
+    };
+    let o = run_overheads(&tree, &docs);
+    print_table(
+        "In-text overheads (§4)",
+        &["Quantity", "Measured", "Paper"],
+        &[
+            vec![
+                "Namespace metadata, UNIX (bytes)".into(),
+                o.unix_bytes.to_string(),
+                "210 KB".into(),
+            ],
+            vec![
+                "Namespace metadata, HAC (bytes)".into(),
+                o.hac_bytes.to_string(),
+                "222 KB (~5% more)".into(),
+            ],
+            vec![
+                "HAC space overhead (%)".into(),
+                format!("{:.1}", o.space_overhead_percent()),
+                "~5".into(),
+            ],
+            vec![
+                "Per-process memory (bytes)".into(),
+                o.per_process_bytes.to_string(),
+                "~16 KB".into(),
+            ],
+            vec![
+                format!("Result bitmap for N={} docs (bytes)", o.n_docs),
+                o.bitmap_bytes.to_string(),
+                "N/8 (~2 KB at N=17000)".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nshape: HAC's per-directory structures add a few percent of namespace\n\
+metadata; per-process state is tens of KB; result bitmaps are N/8 bytes"
+    );
+}

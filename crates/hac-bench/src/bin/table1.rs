@@ -1,0 +1,33 @@
+//! Table 1: the Andrew Benchmark, UNIX vs HAC.
+//!
+//! `cargo run -p hac-bench --release --bin table1 [--modules N] [--files N] [--iters N]`
+
+use hac_bench::arg_usize;
+use hac_bench::tables::{print_table, run_table1};
+use hac_corpus::SourceTreeSpec;
+
+fn main() {
+    let spec = SourceTreeSpec {
+        modules: arg_usize("modules", 16),
+        files_per_module: arg_usize("files", 10),
+        functions_per_file: arg_usize("functions", 3),
+        statements: arg_usize("statements", 6),
+        seed: 11,
+    };
+    let iters = arg_usize("iters", 12);
+    let t1 = run_table1(&spec, iters);
+    println!(
+        "Andrew Benchmark: {} source files, {} iteration(s) accumulated",
+        t1.files, t1.iters
+    );
+    print_table(
+        "Table 1: Results of Andrew Benchmark (milliseconds)",
+        &["Phase", "UNIX (ms)", "HAC (ms)", "HAC/UNIX"],
+        &t1.rows(),
+    );
+    println!(
+        "\nHAC total slowdown: {:.1}%   (paper: 50% on the same phases; 46% overall)",
+        t1.slowdown_percent()
+    );
+    println!("paper's shape: overhead concentrated in Makedir/Copy, smallest in Make");
+}

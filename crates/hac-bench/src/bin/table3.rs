@@ -1,0 +1,44 @@
+//! Table 3: indexing through HAC vs running Glimpse directly.
+//!
+//! `cargo run -p hac-bench --release --bin table3 [--files N] [--words N]`
+//! Use `--files 17000 --words 1300` for the paper-scale run.
+
+use hac_bench::arg_usize;
+use hac_bench::tables::{ms, print_table, run_table3};
+use hac_corpus::DocCollectionSpec;
+
+fn main() {
+    let spec = DocCollectionSpec {
+        files: arg_usize("files", 2000),
+        mean_words: arg_usize("words", 150),
+        vocab: arg_usize("vocab", 8000),
+        ..Default::default()
+    };
+    let t3 = run_table3(&spec);
+    println!(
+        "Indexing {} files, {:.1} MB of text",
+        t3.files,
+        t3.bytes as f64 / (1024.0 * 1024.0)
+    );
+    print_table(
+        "Table 3: Indexing time and space",
+        &["Configuration", "Time (ms)", "Index+metadata bytes"],
+        &[
+            vec![
+                "Glimpse on UNIX".into(),
+                ms(t3.raw_time),
+                t3.raw_space.to_string(),
+            ],
+            vec![
+                "Glimpse via HAC".into(),
+                ms(t3.hac_time),
+                t3.hac_space.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\ntime overhead: {:.1}%   (paper: 27%)\nspace overhead: {:.1}%  (paper: 15%)",
+        t3.time_overhead_percent(),
+        t3.space_overhead_percent()
+    );
+}

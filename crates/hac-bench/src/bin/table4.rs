@@ -1,0 +1,60 @@
+//! Table 4: query cost — raw search vs creating a semantic directory.
+//!
+//! `cargo run -p hac-bench --release --bin table4 [--files N] [--iters N]`
+
+use hac_bench::arg_usize;
+use hac_bench::tables::{ms, print_table};
+use hac_corpus::DocCollectionSpec;
+
+fn main() {
+    let spec = DocCollectionSpec {
+        files: arg_usize("files", 2000),
+        mean_words: arg_usize("words", 150),
+        vocab: arg_usize("vocab", 8000),
+        ..Default::default()
+    };
+    let iters = arg_usize("iters", 8);
+    for (label, granularity) in [
+        (
+            "block-addressed index (Glimpse's small-index mode)",
+            hac_index::Granularity::default(),
+        ),
+        (
+            "exact index (precise-index mode)",
+            hac_index::Granularity::Exact,
+        ),
+    ] {
+        let rows = hac_bench::tables::run_table4_with(&spec, iters, granularity);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.class.to_string(),
+                    r.term.clone(),
+                    r.matches.to_string(),
+                    ms(r.search_time),
+                    ms(r.smkdir_time),
+                    format!("{:.2}x", r.ratio()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Table 4: search vs semantic-directory creation — {label}"),
+            &[
+                "Class",
+                "Term",
+                "Matches",
+                "search (ms)",
+                "smkdir (ms)",
+                "smkdir/search",
+            ],
+            &table,
+        );
+    }
+    println!(
+        "\npaper's shape: the smkdir overhead is largest for queries matching very\n\
+few files (>4x) and falls as matches grow (15% intermediate, 2% many).\n\
+The exact-index mode reproduces that shape; in block mode candidate\n\
+verification dominates both sides and the ratio flattens (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,140 @@
+//! A minimal file-system operations trait so one benchmark driver can run
+//! against the raw substrate, HAC, and the user-level baseline layers.
+
+use std::sync::Arc;
+
+use hac_core::HacFs;
+use hac_vfs::{NodeKind, VPath, Vfs};
+
+/// The operations the Andrew benchmark needs.
+pub trait FsOps {
+    /// Display label for reports.
+    fn label(&self) -> String;
+
+    /// Creates a directory (parents exist).
+    fn mkdir(&self, path: &VPath) -> Result<(), String>;
+
+    /// Creates-or-replaces a file.
+    fn save(&self, path: &VPath, data: &[u8]) -> Result<(), String>;
+
+    /// Lists a directory as `(name, is_dir)` pairs.
+    fn readdir(&self, path: &VPath) -> Result<Vec<(String, bool)>, String>;
+
+    /// Stats a path, returning its size.
+    fn stat_size(&self, path: &VPath) -> Result<u64, String>;
+
+    /// Reads a whole file.
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, String>;
+}
+
+/// The raw substrate — the "UNIX" row of Tables 1 and 2.
+pub struct RawVfs(pub Arc<Vfs>);
+
+impl RawVfs {
+    /// Fresh empty namespace.
+    pub fn new() -> Self {
+        RawVfs(Arc::new(Vfs::new()))
+    }
+}
+
+impl Default for RawVfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FsOps for RawVfs {
+    fn label(&self) -> String {
+        "UNIX (raw vfs)".to_string()
+    }
+
+    fn mkdir(&self, path: &VPath) -> Result<(), String> {
+        self.0.mkdir(path).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn save(&self, path: &VPath, data: &[u8]) -> Result<(), String> {
+        self.0
+            .save(path, data)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn readdir(&self, path: &VPath) -> Result<Vec<(String, bool)>, String> {
+        self.0
+            .readdir(path)
+            .map(|v| {
+                v.into_iter()
+                    .map(|e| (e.name, e.kind == NodeKind::Dir))
+                    .collect()
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn stat_size(&self, path: &VPath) -> Result<u64, String> {
+        self.0.stat(path).map(|a| a.size).map_err(|e| e.to_string())
+    }
+
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, String> {
+        self.0
+            .read_file(path)
+            .map(|b| b.to_vec())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// The HAC layer — the "HAC" row. Runs with default (lazy) configuration,
+/// i.e. used purely as a syntactic file system, exactly like the paper's
+/// first experiment.
+pub struct HacTarget(pub HacFs);
+
+impl HacTarget {
+    /// Fresh HAC file system.
+    pub fn new() -> Self {
+        HacTarget(HacFs::new())
+    }
+}
+
+impl Default for HacTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FsOps for HacTarget {
+    fn label(&self) -> String {
+        "HAC".to_string()
+    }
+
+    fn mkdir(&self, path: &VPath) -> Result<(), String> {
+        self.0.mkdir(path).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn save(&self, path: &VPath, data: &[u8]) -> Result<(), String> {
+        self.0
+            .save(path, data)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn readdir(&self, path: &VPath) -> Result<Vec<(String, bool)>, String> {
+        self.0
+            .readdir(path)
+            .map(|v| {
+                v.into_iter()
+                    .map(|e| (e.name, e.kind == NodeKind::Dir))
+                    .collect()
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn stat_size(&self, path: &VPath) -> Result<u64, String> {
+        self.0.stat(path).map(|a| a.size).map_err(|e| e.to_string())
+    }
+
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, String> {
+        self.0
+            .read_file(path)
+            .map(|b| b.to_vec())
+            .map_err(|e| e.to_string())
+    }
+}

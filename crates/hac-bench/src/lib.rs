@@ -1,0 +1,49 @@
+//! # hac-bench — the paper's evaluation, regenerated
+//!
+//! One module per concern:
+//!
+//! * [`andrew`] — the five-phase Andrew Benchmark (Tables 1–2 workload);
+//! * [`fsops`] — the target abstraction (raw substrate, HAC);
+//! * [`baselines`] — Jade-like and Pseudo-like user-level layers (Table 2);
+//! * [`tables`] — runners producing each table's rows.
+//!
+//! Binaries (`cargo run -p hac-bench --release --bin <name>`):
+//! `table1`, `table2`, `table3`, `table4`, `overheads`, `all_tables`.
+//! Scale knobs are flags, e.g. `--files 17000` for the paper-scale
+//! Table 3; defaults are laptop-sized.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod andrew;
+pub mod baselines;
+pub mod fsops;
+pub mod tables;
+
+/// Parses `--name value` from the command line, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == format!("--{name}") {
+            if let Ok(v) = window[1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_parsers_fall_back_to_defaults() {
+        // The test binary's args don't contain our flags.
+        assert_eq!(super::arg_usize("definitely-not-set", 7), 7);
+        assert!(!super::arg_flag("definitely-not-set"));
+    }
+}

@@ -1,0 +1,502 @@
+//! Reproduction of the paper's evaluation tables.
+//!
+//! Each `run_tableN` function regenerates one table of §4 and returns the
+//! rows; the `bin/` wrappers print them. Absolute times differ from 1999
+//! SunOS hardware — the *shape* (who is slower, where the overhead sits,
+//! how it falls with selectivity) is the reproduction target, recorded in
+//! EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+use hac_core::HacFs;
+use hac_corpus::{
+    generate_docs, term_for_selectivity, DocCollectionSpec, Selectivity, SourceTreeSpec,
+};
+use hac_index::{tokenize_text, DocId, Granularity, Index};
+use hac_vfs::{files_under, VPath, Vfs};
+
+use crate::andrew::{AndrewReport, AndrewSource};
+use crate::baselines::{JadeLike, PseudoLike};
+use crate::fsops::{HacTarget, RawVfs};
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1: Andrew Benchmark, UNIX vs HAC
+// ---------------------------------------------------------------------
+
+/// Results of the Table 1 run.
+pub struct Table1 {
+    /// Phase times for the raw substrate.
+    pub unix: AndrewReport,
+    /// Phase times for HAC.
+    pub hac: AndrewReport,
+    /// Files in the source tree.
+    pub files: usize,
+    /// Iterations accumulated.
+    pub iters: usize,
+}
+
+impl Table1 {
+    /// Total slowdown of HAC over UNIX, percent.
+    pub fn slowdown_percent(&self) -> f64 {
+        (self.hac.total().as_secs_f64() / self.unix.total().as_secs_f64() - 1.0) * 100.0
+    }
+
+    /// Table rows (per phase + total).
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let phase = |name: &str, u: Duration, h: Duration| {
+            vec![
+                name.to_string(),
+                ms(u),
+                ms(h),
+                format!("{:.2}", h.as_secs_f64() / u.as_secs_f64()),
+            ]
+        };
+        vec![
+            phase("Makedir", self.unix.makedir, self.hac.makedir),
+            phase("Copy", self.unix.copy, self.hac.copy),
+            phase("Scan", self.unix.scan, self.hac.scan),
+            phase("Read", self.unix.read, self.hac.read),
+            phase("Make", self.unix.make, self.hac.make),
+            phase("Total", self.unix.total(), self.hac.total()),
+        ]
+    }
+}
+
+/// Runs Table 1 at the given tree scale.
+pub fn run_table1(spec: &SourceTreeSpec, iters: usize) -> Table1 {
+    let source = AndrewSource::prepare(spec);
+    let raw = RawVfs::new();
+    let hac = HacTarget::new();
+    let reports = crate::andrew::measure_interleaved(&source, &[&raw, &hac], iters);
+    Table1 {
+        unix: reports[0],
+        hac: reports[1],
+        files: source.file_count(),
+        iters,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: user-level file system slowdowns
+// ---------------------------------------------------------------------
+
+/// One Table 2 row.
+pub struct SlowdownRow {
+    /// Layer label.
+    pub label: String,
+    /// Measured Andrew total.
+    pub total: Duration,
+    /// Slowdown over raw, percent.
+    pub slowdown_percent: f64,
+    /// The paper's published figure, where one exists.
+    pub paper_percent: Option<f64>,
+}
+
+/// Runs Table 2: Andrew slowdown of each user-level layer over raw.
+pub fn run_table2(spec: &SourceTreeSpec, iters: usize) -> Vec<SlowdownRow> {
+    let source = AndrewSource::prepare(spec);
+    let raw_t = RawVfs::new();
+    let jade_t = JadeLike::new();
+    let pseudo_t = PseudoLike::new();
+    let hac_t = HacTarget::new();
+    let reports =
+        crate::andrew::measure_interleaved(&source, &[&raw_t, &jade_t, &pseudo_t, &hac_t], iters);
+    let raw = reports[0].total();
+    let (jade, pseudo, hac) = (reports[1].total(), reports[2].total(), reports[3].total());
+    let mut rows = Vec::new();
+    let pct = |t: Duration| (t.as_secs_f64() / raw.as_secs_f64() - 1.0) * 100.0;
+    rows.push(SlowdownRow {
+        label: "Jade FS (Jade-like layer)".into(),
+        total: jade,
+        slowdown_percent: pct(jade),
+        paper_percent: Some(36.0),
+    });
+    rows.push(SlowdownRow {
+        label: "Pseudo FS (Pseudo-like layer)".into(),
+        total: pseudo,
+        slowdown_percent: pct(pseudo),
+        paper_percent: Some(33.41),
+    });
+    rows.push(SlowdownRow {
+        label: "HAC FS".into(),
+        total: hac,
+        slowdown_percent: pct(hac),
+        paper_percent: Some(46.0),
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Table 3: indexing through HAC vs directly
+// ---------------------------------------------------------------------
+
+/// Results of the Table 3 run.
+pub struct Table3 {
+    /// Files indexed.
+    pub files: usize,
+    /// Corpus bytes.
+    pub bytes: u64,
+    /// Direct (Glimpse-on-UNIX) indexing time.
+    pub raw_time: Duration,
+    /// Direct index size in bytes.
+    pub raw_space: u64,
+    /// Indexing time through the HAC layer (`ssync`).
+    pub hac_time: Duration,
+    /// Index + HAC metadata size in bytes.
+    pub hac_space: u64,
+}
+
+impl Table3 {
+    /// Time overhead percent.
+    pub fn time_overhead_percent(&self) -> f64 {
+        (self.hac_time.as_secs_f64() / self.raw_time.as_secs_f64() - 1.0) * 100.0
+    }
+
+    /// Space overhead percent.
+    pub fn space_overhead_percent(&self) -> f64 {
+        (self.hac_space as f64 / self.raw_space as f64 - 1.0) * 100.0
+    }
+}
+
+/// Runs Table 3 at the given collection scale.
+pub fn run_table3(spec: &DocCollectionSpec) -> Table3 {
+    // Direct: Glimpse over the raw file system.
+    let vfs = Vfs::new();
+    let col = generate_docs(&vfs, &p("/db"), spec).expect("corpus");
+    let build_raw = || {
+        let mut index = Index::new(Granularity::default());
+        for entry in hac_vfs::walk(&vfs, &p("/db")).expect("walk corpus") {
+            if entry.attr.kind != hac_vfs::NodeKind::File {
+                continue;
+            }
+            let content = vfs.read_file(&entry.path).expect("read");
+            index.add_doc(
+                DocId(entry.attr.id.0),
+                entry.attr.version,
+                &tokenize_text(&content),
+            );
+        }
+        index
+    };
+    std::hint::black_box(build_raw()); // warmup (allocator, caches)
+    let mut raw_time = Duration::MAX;
+    let mut raw_space = 0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let index = build_raw();
+        raw_time = raw_time.min(t.elapsed());
+        raw_space = index.stats().total_bytes();
+    }
+
+    // Through HAC: "we then indexed a different copy of the same database
+    // by using the HAC file system library instead" — the copy is loaded
+    // through the HAC layer (so every directory carries HAC metadata) and
+    // then indexed by `ssync`.
+    let fs = HacFs::new();
+    {
+        let staged = Vfs::new();
+        generate_docs(&staged, &p("/db"), spec).expect("corpus");
+        for entry in hac_vfs::walk(&staged, &p("/db")).expect("walk staging") {
+            match entry.attr.kind {
+                hac_vfs::NodeKind::Dir => {
+                    fs.mkdir_p(&entry.path).expect("mkdir copy");
+                }
+                hac_vfs::NodeKind::File => {
+                    let content = staged.read_file(&entry.path).expect("read staging");
+                    fs.save(&entry.path, &content).expect("save copy");
+                }
+                hac_vfs::NodeKind::Symlink => {}
+            }
+        }
+    }
+    fs.ssync(&p("/")).expect("ssync warmup");
+    // `reindex_full` rebuilds from scratch — the same work as the first
+    // indexing pass, with warm allocator state matching the raw baseline.
+    let mut hac_time = Duration::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        fs.reindex_full().expect("reindex");
+        hac_time = hac_time.min(t.elapsed());
+    }
+    let hac_space = fs.index_stats().total_bytes() + fs.metadata_bytes() + {
+        // Persisted metadata records live in the namespace; count them too.
+        let meta = p("/.hac-meta");
+        files_under(fs.vfs(), &meta)
+            .map(|files| {
+                files
+                    .iter()
+                    .map(|f| fs.vfs().stat(f).map(|a| a.size).unwrap_or(0))
+                    .sum::<u64>()
+            })
+            .unwrap_or(0)
+    };
+    Table3 {
+        files: col.files.len(),
+        bytes: col.bytes,
+        raw_time,
+        raw_space,
+        hac_time,
+        hac_space,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 4: query cost — raw search vs semantic directory creation
+// ---------------------------------------------------------------------
+
+/// One Table 4 row.
+pub struct Table4Row {
+    /// Query class.
+    pub class: &'static str,
+    /// The term used.
+    pub term: String,
+    /// Files matched.
+    pub matches: usize,
+    /// Raw Glimpse-style search time (mean).
+    pub search_time: Duration,
+    /// `smkdir` time (mean): evaluation + link materialization + metadata.
+    pub smkdir_time: Duration,
+}
+
+impl Table4Row {
+    /// smkdir / search cost ratio.
+    pub fn ratio(&self) -> f64 {
+        self.smkdir_time.as_secs_f64() / self.search_time.as_secs_f64()
+    }
+}
+
+/// Runs Table 4 with the default (Glimpse block-addressed) index.
+pub fn run_table4(spec: &DocCollectionSpec, iters: usize) -> Vec<Table4Row> {
+    run_table4_with(spec, iters, Granularity::default())
+}
+
+/// Runs Table 4: for the three selectivity classes, compare raw search
+/// with semantic-directory creation over the same corpus. The granularity
+/// sets the evaluation cost profile: block addressing pays candidate
+/// verification per query (Glimpse's small-index design); the exact index
+/// answers from postings alone, which makes the smkdir machinery's fixed
+/// cost visible the way the paper's Table 4 shows it.
+pub fn run_table4_with(
+    spec: &DocCollectionSpec,
+    iters: usize,
+    granularity: Granularity,
+) -> Vec<Table4Row> {
+    let fs = HacFs::with_config(hac_core::HacConfig {
+        granularity,
+        ..Default::default()
+    });
+    generate_docs(fs.vfs(), &p("/db"), spec).expect("corpus");
+    fs.ssync(&p("/")).expect("ssync");
+
+    let classes = [
+        ("few", Selectivity::Few),
+        ("intermediate", Selectivity::Intermediate),
+        ("many", Selectivity::Many),
+    ];
+    let mut rows = Vec::new();
+    for (name, sel) in classes {
+        let term = term_for_selectivity(spec, sel);
+        // Warmup both paths once (allocator, attribute cache, postings).
+        let matches = fs.search(&p("/"), &term).expect("search").len();
+        let warm = p(&format!("/q-{name}-warm"));
+        fs.smkdir(&warm, &term).expect("smkdir warmup");
+        fs.remove_recursive(&warm).expect("cleanup warmup");
+
+        // Interleave the two measurements so drift hits both equally.
+        let mut search_total = Duration::ZERO;
+        let mut smkdir_total = Duration::ZERO;
+        for i in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(fs.search(&p("/"), &term).expect("search"));
+            search_total += t.elapsed();
+
+            let dir = p(&format!("/q-{name}-{i}"));
+            let t = Instant::now();
+            fs.smkdir(&dir, &term).expect("smkdir");
+            smkdir_total += t.elapsed();
+            fs.remove_recursive(&dir).expect("cleanup");
+        }
+        let search_time = search_total / iters as u32;
+        let smkdir_time = smkdir_total / iters as u32;
+        rows.push(Table4Row {
+            class: name,
+            term,
+            matches,
+            search_time,
+            smkdir_time,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §4 in-text space overheads
+// ---------------------------------------------------------------------
+
+/// Results for the in-text overhead numbers.
+pub struct Overheads {
+    /// Namespace metadata bytes, raw substrate (the Andrew tree).
+    pub unix_bytes: u64,
+    /// Namespace + HAC metadata bytes for the same tree through HAC.
+    pub hac_bytes: u64,
+    /// Per-process resident bytes (descriptor tables + attribute cache
+    /// share) after an open-file workload.
+    pub per_process_bytes: u64,
+    /// Dense result bitmap bytes for one semantic directory over `n_docs`.
+    pub bitmap_bytes: u64,
+    /// The `N` in `N/8`.
+    pub n_docs: u64,
+}
+
+impl Overheads {
+    /// Space overhead percent of HAC over raw.
+    pub fn space_overhead_percent(&self) -> f64 {
+        (self.hac_bytes as f64 / self.unix_bytes as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measures the §4 in-text numbers.
+pub fn run_overheads(tree: &SourceTreeSpec, docs: &DocCollectionSpec) -> Overheads {
+    // Same Andrew tree through both layers.
+    let source = AndrewSource::prepare(tree);
+    let raw = RawVfs::new();
+    let hac = HacTarget::new();
+    crate::andrew::run_andrew(&source, &raw, &p("/dest"));
+    crate::andrew::run_andrew(&source, &hac, &p("/dest"));
+    let unix_bytes = raw.0.metadata_bytes();
+    let hac_bytes =
+        hac.0.vfs().metadata_bytes() - raw.0.metadata_bytes() + unix_bytes + hac.0.metadata_bytes();
+
+    // Per-process memory: open a handful of descriptors, as a process
+    // under the benchmark would.
+    let pid = hac.0.vfs().spawn_process();
+    for i in 0..16 {
+        let _ = hac.0.vfs().open(
+            pid,
+            &p(&format!("/dest/a.out")),
+            hac_vfs::OpenMode::Read,
+            hac_vfs::CreatePolicy::MustExist,
+        );
+        let _ = i;
+    }
+    let per_process_bytes = hac.0.vfs().process_resident_bytes();
+
+    // Bitmap size for a semantic directory over the document corpus.
+    let fs = HacFs::new();
+    generate_docs(fs.vfs(), &p("/db"), docs).expect("corpus");
+    fs.ssync(&p("/")).expect("ssync");
+    let term = term_for_selectivity(docs, Selectivity::Many);
+    fs.smkdir(&p("/q"), &term).expect("smkdir");
+    let bitmap_bytes = fs.result_bitmap(&p("/q")).expect("bitmap").bytes();
+    Overheads {
+        unix_bytes,
+        hac_bytes,
+        per_process_bytes,
+        bitmap_bytes,
+        n_docs: fs.index_stats().docs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_tree() -> SourceTreeSpec {
+        SourceTreeSpec {
+            modules: 2,
+            files_per_module: 2,
+            functions_per_file: 2,
+            statements: 3,
+            seed: 1,
+        }
+    }
+
+    fn tiny_docs() -> DocCollectionSpec {
+        DocCollectionSpec {
+            files: 60,
+            mean_words: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table1_produces_positive_times() {
+        let t1 = run_table1(&tiny_tree(), 1);
+        assert!(t1.unix.total() > Duration::ZERO);
+        assert!(t1.hac.total() > Duration::ZERO);
+        assert_eq!(t1.rows().len(), 6);
+    }
+
+    #[test]
+    fn table2_has_three_rows_with_paper_figures() {
+        let rows = run_table2(&tiny_tree(), 1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].paper_percent, Some(46.0));
+    }
+
+    #[test]
+    fn table3_hac_space_exceeds_raw() {
+        let t3 = run_table3(&tiny_docs());
+        assert_eq!(t3.files, 60);
+        assert!(t3.hac_space > t3.raw_space, "HAC must cost extra space");
+        assert!(t3.raw_time > Duration::ZERO && t3.hac_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn table4_selectivity_orders_matches() {
+        let rows = run_table4(&tiny_docs(), 2);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].matches <= rows[1].matches);
+        assert!(rows[1].matches <= rows[2].matches);
+        // Timing magnitudes are noisy under the debug test profile; only
+        // check that both measurements exist. The shape assertions live in
+        // EXPERIMENTS.md runs under --release.
+        for row in &rows {
+            assert!(row.smkdir_time > Duration::ZERO, "class {}", row.class);
+            assert!(row.search_time > Duration::ZERO, "class {}", row.class);
+        }
+    }
+
+    #[test]
+    fn overheads_report_positive_figures() {
+        let o = run_overheads(&tiny_tree(), &tiny_docs());
+        assert!(o.hac_bytes > o.unix_bytes);
+        assert!(o.per_process_bytes > 0);
+        // Dense bitmap is N/8 rounded up to words.
+        assert!(o.bitmap_bytes >= o.n_docs / 8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Periodic reindexing daemon (§2.4).
+//!
+//! "At present, HAC invokes the CBA mechanism to reindex the file system
+//! periodically (say, once a day or once an hour), determined by the user."
+//! [`ReindexDaemon`] runs `ssync("/")` on a fixed interval in a background
+//! thread until dropped or stopped. Intervals are wall-clock here (the only
+//! place real time appears in the system); tests use
+//! [`ReindexDaemon::tick_now`] for determinism.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+
+use hac_vfs::VPath;
+
+use crate::fs::HacFs;
+use crate::state::SyncReport;
+
+/// Handle to a running periodic reindexer.
+pub struct ReindexDaemon {
+    stop: Sender<()>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl ReindexDaemon {
+    /// Spawns a daemon that calls `fs.ssync("/")` every `interval`.
+    pub fn spawn(fs: Arc<HacFs>, interval: Duration) -> Self {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let handle = std::thread::spawn(move || {
+            let mut passes = 0u64;
+            loop {
+                match stop_rx.recv_timeout(interval) {
+                    Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        return passes
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        // A failing pass must not kill the daemon; the next
+                        // tick retries.
+                        if fs.ssync(&VPath::root()).is_ok() {
+                            passes += 1;
+                        }
+                    }
+                }
+            }
+        });
+        ReindexDaemon {
+            stop: stop_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Runs one reindex pass synchronously (deterministic alternative for
+    /// tests and command-line `ssync`).
+    pub fn tick_now(fs: &HacFs) -> crate::error::HacResult<SyncReport> {
+        fs.ssync(&VPath::root())
+    }
+
+    /// Stops the daemon and returns how many passes it completed.
+    pub fn stop(mut self) -> u64 {
+        let _ = self.stop.send(());
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ReindexDaemon {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_ticks_and_stops() {
+        let fs = Arc::new(HacFs::new());
+        let p = |s: &str| VPath::parse(s).unwrap();
+        fs.mkdir(&p("/docs")).unwrap();
+        fs.save(&p("/docs/a.txt"), b"zebra stripes").unwrap();
+        let daemon = ReindexDaemon::spawn(Arc::clone(&fs), Duration::from_millis(10));
+        // Wait until at least one pass indexed the file.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !fs.is_indexed(&p("/docs/a.txt")) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never indexed the file"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let passes = daemon.stop();
+        assert!(passes >= 1);
+    }
+
+    #[test]
+    fn tick_now_is_synchronous() {
+        let fs = HacFs::new();
+        let p = |s: &str| VPath::parse(s).unwrap();
+        fs.save(&p("/x.txt"), b"quark flavour").unwrap();
+        assert!(!fs.is_indexed(&p("/x.txt")));
+        let report = ReindexDaemon::tick_now(&fs).unwrap();
+        assert_eq!(report.added, 1);
+        assert!(fs.is_indexed(&p("/x.txt")));
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let fs = Arc::new(HacFs::new());
+        let daemon = ReindexDaemon::spawn(Arc::clone(&fs), Duration::from_millis(5));
+        drop(daemon); // must not hang
+    }
+}

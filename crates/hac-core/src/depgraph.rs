@@ -1,0 +1,352 @@
+//! The dependency graph (§2.5).
+//!
+//! Nodes are directory UIDs. An edge `a → b` means *a depends on b*: `a`'s
+//! query result must be recomputed whenever the scope provided by `b`
+//! changes. Two edge sources exist:
+//!
+//! * the implicit hierarchical edge from every semantic directory to its
+//!   parent (the paper implements the strict-hierarchy scope rule as an
+//!   implicit `AND path(parent)` conjunct — one mechanism serves both), and
+//! * explicit directory references inside queries.
+//!
+//! The graph must stay acyclic; updates are propagated to transitive
+//! dependents in topological order (Kahn's algorithm over the affected
+//! subgraph).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use hac_query::DirUid;
+
+/// Why an edge exists (used when edges are re-derived after query or
+/// position changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Implicit parent-child refinement edge.
+    Hierarchy,
+    /// Explicit `path(...)` reference in the query.
+    QueryRef,
+}
+
+/// Directed acyclic dependency graph over directory UIDs.
+#[derive(Debug, Default, Clone)]
+pub struct DepGraph {
+    /// `deps[a]` = set of (b, kind): a depends on b.
+    deps: HashMap<DirUid, HashSet<(DirUid, EdgeKind)>>,
+    /// `dependents[b]` = set of a: a depends on b (reverse index).
+    dependents: HashMap<DirUid, HashSet<DirUid>>,
+}
+
+impl DepGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether adding `from → to` would create a cycle (i.e. `to` can
+    /// already reach `from` by following dependency edges… inverted:
+    /// `from` is reachable from `to` via dependency edges of `to`).
+    pub fn would_cycle(&self, from: DirUid, to: DirUid) -> bool {
+        if from == to {
+            return true;
+        }
+        // DFS from `to` along its dependencies, looking for `from`.
+        let mut stack = vec![to];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == from {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(ds) = self.deps.get(&n) {
+                stack.extend(ds.iter().map(|(d, _)| *d));
+            }
+        }
+        false
+    }
+
+    /// Adds `from → to` (from depends on to).
+    ///
+    /// Returns `false` (graph unchanged) if the edge would create a cycle.
+    #[must_use]
+    pub fn add_edge(&mut self, from: DirUid, to: DirUid, kind: EdgeKind) -> bool {
+        if self.would_cycle(from, to) {
+            return false;
+        }
+        self.deps.entry(from).or_default().insert((to, kind));
+        self.dependents.entry(to).or_default().insert(from);
+        true
+    }
+
+    /// Removes every outgoing edge of `from` with the given kind.
+    pub fn clear_edges(&mut self, from: DirUid, kind: EdgeKind) {
+        if let Some(ds) = self.deps.get_mut(&from) {
+            let removed: Vec<DirUid> = ds
+                .iter()
+                .filter(|(_, k)| *k == kind)
+                .map(|(d, _)| *d)
+                .collect();
+            ds.retain(|(_, k)| *k != kind);
+            for d in removed {
+                // Only drop the reverse edge if no other kind still links it.
+                let still = self
+                    .deps
+                    .get(&from)
+                    .is_some_and(|set| set.iter().any(|(dd, _)| *dd == d));
+                if !still {
+                    if let Some(rs) = self.dependents.get_mut(&d) {
+                        rs.remove(&from);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a node and all its edges (directory deleted).
+    pub fn remove_node(&mut self, node: DirUid) {
+        if let Some(ds) = self.deps.remove(&node) {
+            for (d, _) in ds {
+                if let Some(rs) = self.dependents.get_mut(&d) {
+                    rs.remove(&node);
+                }
+            }
+        }
+        if let Some(rs) = self.dependents.remove(&node) {
+            for r in rs {
+                if let Some(ds) = self.deps.get_mut(&r) {
+                    ds.retain(|(d, _)| *d != node);
+                }
+            }
+        }
+    }
+
+    /// Direct dependencies of `node`.
+    pub fn dependencies(&self, node: DirUid) -> Vec<DirUid> {
+        self.deps
+            .get(&node)
+            .map(|s| s.iter().map(|(d, _)| *d).collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct dependents of `node`.
+    pub fn direct_dependents(&self, node: DirUid) -> Vec<DirUid> {
+        self.dependents
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All transitive dependents of the `roots` (excluding the roots
+    /// themselves unless reachable), in a valid topological update order:
+    /// every directory appears after all of its affected dependencies.
+    ///
+    /// This is the §2.5 update schedule — "we must use the order obtained
+    /// from a topological sort of the dependency graph."
+    pub fn update_order(&self, roots: impl IntoIterator<Item = DirUid>) -> Vec<DirUid> {
+        // Collect the affected set: everything reachable from the roots via
+        // reverse (dependent) edges.
+        let mut affected: HashSet<DirUid> = HashSet::new();
+        let mut queue: VecDeque<DirUid> = roots.into_iter().collect();
+        let seeds: HashSet<DirUid> = queue.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            if let Some(deps) = self.dependents.get(&n) {
+                for d in deps {
+                    if affected.insert(*d) {
+                        queue.push_back(*d);
+                    }
+                }
+            }
+        }
+        // Seeds that are themselves semantic dirs may need re-evaluation
+        // too; the caller decides by passing them through `include_roots`.
+        let _ = seeds;
+        // Kahn over the affected subgraph.
+        let mut indegree: HashMap<DirUid, usize> = HashMap::new();
+        for &n in &affected {
+            let count = self
+                .deps
+                .get(&n)
+                .map(|ds| ds.iter().filter(|(d, _)| affected.contains(d)).count())
+                .unwrap_or(0);
+            indegree.insert(n, count);
+        }
+        let mut ready: VecDeque<DirUid> = indegree
+            .iter()
+            .filter(|(_, c)| **c == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        // Deterministic order helps tests: process smaller UIDs first.
+        let mut ready: Vec<DirUid> = ready.drain(..).collect();
+        ready.sort();
+        let mut ready: VecDeque<DirUid> = ready.into();
+        let mut order = Vec::with_capacity(affected.len());
+        while let Some(n) = ready.pop_front() {
+            order.push(n);
+            let mut unlocked: Vec<DirUid> = Vec::new();
+            if let Some(deps) = self.dependents.get(&n) {
+                for d in deps {
+                    if let Some(c) = indegree.get_mut(d) {
+                        *c -= 1;
+                        if *c == 0 {
+                            unlocked.push(*d);
+                        }
+                    }
+                }
+            }
+            unlocked.sort();
+            for u in unlocked {
+                ready.push_back(u);
+            }
+        }
+        debug_assert_eq!(
+            order.len(),
+            affected.len(),
+            "affected subgraph must be acyclic"
+        );
+        order
+    }
+
+    /// Topologically sorts an explicit node set (dependencies first). Used
+    /// by full resynchronization (`ssync` over the whole tree), where every
+    /// semantic directory is re-evaluated once, in dependency order.
+    pub fn full_order(&self, nodes: impl IntoIterator<Item = DirUid>) -> Vec<DirUid> {
+        let set: HashSet<DirUid> = nodes.into_iter().collect();
+        let mut indegree: HashMap<DirUid, usize> = HashMap::new();
+        for &n in &set {
+            let count = self
+                .deps
+                .get(&n)
+                .map(|ds| ds.iter().filter(|(d, _)| set.contains(d)).count())
+                .unwrap_or(0);
+            indegree.insert(n, count);
+        }
+        let mut ready: Vec<DirUid> = indegree
+            .iter()
+            .filter(|(_, c)| **c == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        ready.sort();
+        let mut ready: VecDeque<DirUid> = ready.into();
+        let mut order = Vec::with_capacity(set.len());
+        while let Some(n) = ready.pop_front() {
+            order.push(n);
+            let mut unlocked: Vec<DirUid> = Vec::new();
+            if let Some(deps) = self.dependents.get(&n) {
+                for d in deps {
+                    if let Some(c) = indegree.get_mut(d) {
+                        *c -= 1;
+                        if *c == 0 {
+                            unlocked.push(*d);
+                        }
+                    }
+                }
+            }
+            unlocked.sort();
+            for u in unlocked {
+                ready.push_back(u);
+            }
+        }
+        debug_assert_eq!(order.len(), set.len(), "node set must be acyclic");
+        order
+    }
+
+    /// Number of nodes with any edge (diagnostics).
+    pub fn node_count(&self) -> usize {
+        let mut nodes: HashSet<DirUid> = self.deps.keys().copied().collect();
+        nodes.extend(self.dependents.keys());
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> DirUid {
+        DirUid(n)
+    }
+
+    #[test]
+    fn add_edge_rejects_cycles() {
+        let mut g = DepGraph::new();
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(2), u(1), EdgeKind::Hierarchy));
+        // 0 ← 1 ← 2; adding 0 → 2 closes a cycle.
+        assert!(!g.add_edge(u(0), u(2), EdgeKind::QueryRef));
+        // Self-loop is a cycle.
+        assert!(!g.add_edge(u(3), u(3), EdgeKind::QueryRef));
+        // Unrelated edge still fine.
+        assert!(g.add_edge(u(3), u(0), EdgeKind::QueryRef));
+    }
+
+    #[test]
+    fn update_order_respects_dependencies() {
+        let mut g = DepGraph::new();
+        // 1,2 depend on 0; 3 depends on 1 and 2; 4 depends on 3.
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(2), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(3), u(1), EdgeKind::QueryRef));
+        assert!(g.add_edge(u(3), u(2), EdgeKind::QueryRef));
+        assert!(g.add_edge(u(4), u(3), EdgeKind::Hierarchy));
+        let order = g.update_order([u(0)]);
+        assert_eq!(order.len(), 4);
+        let pos = |n: u64| order.iter().position(|x| *x == u(n)).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+        assert!(pos(3) < pos(4));
+    }
+
+    #[test]
+    fn update_order_only_covers_affected() {
+        let mut g = DepGraph::new();
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(5), u(6), EdgeKind::Hierarchy));
+        let order = g.update_order([u(0)]);
+        assert_eq!(order, vec![u(1)]);
+    }
+
+    #[test]
+    fn clear_edges_by_kind() {
+        let mut g = DepGraph::new();
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(1), u(2), EdgeKind::QueryRef));
+        g.clear_edges(u(1), EdgeKind::QueryRef);
+        assert_eq!(g.dependencies(u(1)), vec![u(0)]);
+        // Hierarchy edge survives; re-adding the ref works.
+        assert!(g.add_edge(u(1), u(2), EdgeKind::QueryRef));
+    }
+
+    #[test]
+    fn clear_edges_keeps_shared_target_with_other_kind() {
+        let mut g = DepGraph::new();
+        // Both a hierarchy edge and a query-ref edge to the same target.
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(1), u(0), EdgeKind::QueryRef));
+        g.clear_edges(u(1), EdgeKind::QueryRef);
+        assert_eq!(g.dependencies(u(1)), vec![u(0)]);
+        assert_eq!(g.direct_dependents(u(0)), vec![u(1)]);
+    }
+
+    #[test]
+    fn remove_node_detaches_everything() {
+        let mut g = DepGraph::new();
+        assert!(g.add_edge(u(1), u(0), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(2), u(1), EdgeKind::QueryRef));
+        g.remove_node(u(1));
+        assert!(g.update_order([u(0)]).is_empty());
+        assert!(g.dependencies(u(2)).is_empty());
+        // Previously-cyclic edge is now allowed.
+        assert!(g.add_edge(u(0), u(2), EdgeKind::QueryRef));
+    }
+
+    #[test]
+    fn diamond_update_order_is_deterministic() {
+        let mut g = DepGraph::new();
+        assert!(g.add_edge(u(2), u(1), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(3), u(1), EdgeKind::Hierarchy));
+        assert!(g.add_edge(u(4), u(2), EdgeKind::QueryRef));
+        assert!(g.add_edge(u(4), u(3), EdgeKind::QueryRef));
+        assert_eq!(g.update_order([u(1)]), vec![u(2), u(3), u(4)]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type of the HAC layer.
+
+use std::fmt;
+
+use hac_query::{DirUid, ParseError};
+use hac_vfs::{VPath, VfsError};
+
+use crate::remote::RemoteError;
+
+/// Errors returned by [`crate::HacFs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HacError {
+    /// The underlying file system refused the operation.
+    Vfs(VfsError),
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The operation requires a semantic directory, but the path names a
+    /// plain one.
+    NotSemantic(VPath),
+    /// The operation requires a directory.
+    NotADirectory(VPath),
+    /// Accepting the query/move would create a dependency cycle
+    /// (§2.5 forbids cycles in the dependency graph).
+    CycleDetected {
+        /// The directory whose query/position was being changed.
+        at: VPath,
+    },
+    /// A UID stored in a query no longer maps to a live directory.
+    UnknownUid(DirUid),
+    /// A query referenced a directory path that does not exist.
+    UnknownQueryTarget(VPath),
+    /// The root directory cannot carry a query (it provides the universal
+    /// scope and "does not have a query associated with it").
+    RootHasNoQuery,
+    /// A remote name space failed.
+    Remote(RemoteError),
+    /// No semantic mount exists at this path.
+    NotMounted(VPath),
+    /// A symlink target could not be interpreted (neither a local file nor
+    /// a remote-link encoding).
+    BadLinkTarget(VPath),
+    /// The `sact` link is not inside a semantic directory with a query.
+    NoQueryContext(VPath),
+}
+
+impl fmt::Display for HacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HacError::Vfs(e) => write!(f, "file system error: {e}"),
+            HacError::Parse(e) => write!(f, "query parse error: {e}"),
+            HacError::NotSemantic(p) => write!(f, "not a semantic directory: {p}"),
+            HacError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            HacError::CycleDetected { at } => {
+                write!(f, "dependency cycle would form at {at}")
+            }
+            HacError::UnknownUid(uid) => write!(f, "dangling directory reference {uid}"),
+            HacError::UnknownQueryTarget(p) => {
+                write!(f, "query references unknown directory {p}")
+            }
+            HacError::RootHasNoQuery => write!(f, "the root directory cannot carry a query"),
+            HacError::Remote(e) => write!(f, "remote name space error: {e}"),
+            HacError::NotMounted(p) => write!(f, "no semantic mount at {p}"),
+            HacError::BadLinkTarget(p) => write!(f, "uninterpretable link target {p}"),
+            HacError::NoQueryContext(p) => {
+                write!(f, "no enclosing semantic directory query for {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HacError {}
+
+impl From<VfsError> for HacError {
+    fn from(e: VfsError) -> Self {
+        HacError::Vfs(e)
+    }
+}
+
+impl From<ParseError> for HacError {
+    fn from(e: ParseError) -> Self {
+        HacError::Parse(e)
+    }
+}
+
+impl From<RemoteError> for HacError {
+    fn from(e: RemoteError) -> Self {
+        HacError::Remote(e)
+    }
+}
+
+/// Result alias for HAC operations.
+pub type HacResult<T> = Result<T, HacError>;

@@ -1,0 +1,1038 @@
+//! The HAC file system facade.
+//!
+//! [`HacFs`] plays the role of the paper's user-level DLL: every file
+//! system call goes through it, so it can maintain HAC's metadata (link
+//! classification, dependency graph, UID map) and restore scope consistency
+//! after each structural mutation. The semantic commands of §4 map as:
+//!
+//! | paper       | here                         |
+//! |-------------|------------------------------|
+//! | `smkdir`    | [`HacFs::smkdir`]            |
+//! | `schquery`  | [`HacFs::set_query`]         |
+//! | `sreadq`    | [`HacFs::get_query`]         |
+//! | `sact`      | [`HacFs::sact`]              |
+//! | `smount`    | [`HacFs::smount`]            |
+//! | `ssync`     | [`HacFs::ssync`]             |
+//!
+//! Mutating the wrapped [`Vfs`] directly bypasses HAC bookkeeping, exactly
+//! like bypassing the paper's DLL; use the [`HacFs`] methods.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hac_index::{Bitmap, DocId, IndexStats, TransducerRegistry};
+use hac_query::{parse, DirUid, Query};
+use hac_vfs::{FileId, NodeKind, VPath, Vfs};
+
+use crate::error::{HacError, HacResult};
+use crate::remote::{NamespaceId, RemoteQuerySystem};
+use crate::scope::Scope;
+use crate::semdir::{LinkKind, LinkState, LinkTarget, SemDir};
+use crate::state::{decode_remote_target, HacConfig, HacState, SyncReport, VfsProvider};
+
+/// One entry of [`HacFs::list_links`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkInfo {
+    /// Entry name inside the semantic directory.
+    pub name: String,
+    /// Ownership class.
+    pub kind: LinkKind,
+    /// Link target.
+    pub target: LinkTarget,
+}
+
+/// The HAC file system: a hierarchical namespace with content-based access.
+///
+/// # Examples
+///
+/// ```
+/// use hac_core::HacFs;
+/// use hac_vfs::VPath;
+///
+/// let fs = HacFs::new();
+/// let p = |s: &str| VPath::parse(s).unwrap();
+/// fs.mkdir_p(&p("/notes")).unwrap();
+/// fs.save(&p("/notes/a.txt"), b"fingerprint minutiae ridge").unwrap();
+/// fs.save(&p("/notes/b.txt"), b"pasta recipe").unwrap();
+/// fs.ssync(&p("/")).unwrap();
+///
+/// fs.smkdir(&p("/fp"), "fingerprint").unwrap();
+/// let names: Vec<String> =
+///     fs.readdir(&p("/fp")).unwrap().into_iter().map(|e| e.name).collect();
+/// assert_eq!(names, vec!["a.txt"]);
+/// ```
+pub struct HacFs {
+    vfs: Arc<Vfs>,
+    registry: TransducerRegistry,
+    state: RwLock<HacState>,
+}
+
+impl Default for HacFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HacFs {
+    /// Creates an empty HAC file system with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(HacConfig::default())
+    }
+
+    /// Creates an empty HAC file system with explicit configuration.
+    pub fn with_config(config: HacConfig) -> Self {
+        HacFs {
+            vfs: Arc::new(Vfs::new()),
+            registry: TransducerRegistry::new(),
+            state: RwLock::new(HacState::new(config)),
+        }
+    }
+
+    /// Replaces the transducer registry (before any indexing).
+    pub fn with_registry(mut self, registry: TransducerRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The underlying namespace. Reads are safe; direct mutations bypass
+    /// HAC bookkeeping (like bypassing the paper's interception DLL).
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> HacConfig {
+        self.state.read().config
+    }
+
+    // ------------------------------------------------------------------
+    // Read operations (pure pass-through)
+    // ------------------------------------------------------------------
+
+    /// Reads a file, following symlinks. See [`Vfs::read_file`].
+    pub fn read_file(&self, path: &VPath) -> HacResult<bytes::Bytes> {
+        Ok(self.vfs.read_file(path)?)
+    }
+
+    /// Lists a directory. HAC's reserved bookkeeping areas (`/.hac-meta`,
+    /// `/.hac-remote`) are hidden from root listings, just as the paper's
+    /// on-disk structures are invisible to applications. See
+    /// [`Vfs::readdir`] for the raw view.
+    pub fn readdir(&self, path: &VPath) -> HacResult<Vec<hac_vfs::DirEntry>> {
+        let mut entries = self.vfs.readdir(path)?;
+        if path.is_root() {
+            entries.retain(|e| {
+                e.name != crate::state::META_DIR && e.name != crate::state::REMOTE_LINK_PREFIX
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Stats a path (follows links).
+    pub fn stat(&self, path: &VPath) -> HacResult<hac_vfs::Attr> {
+        Ok(self.vfs.stat(path)?)
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &VPath) -> bool {
+        self.vfs.exists(path)
+    }
+
+    /// Reads a symlink target.
+    pub fn readlink(&self, path: &VPath) -> HacResult<VPath> {
+        Ok(self.vfs.readlink(path)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural mutations (pass-through + bookkeeping + scope sync)
+    // ------------------------------------------------------------------
+
+    /// Creates a plain (syntactic) directory. Like the paper's HAC, every
+    /// directory gets its (empty) persistent metadata record and a slot in
+    /// the global map — the Makedir-phase overhead of Table 1.
+    pub fn mkdir(&self, path: &VPath) -> HacResult<FileId> {
+        let id = self.vfs.mkdir(path)?;
+        let mut state = self.state.write();
+        state.persist_dir(&self.vfs, id);
+        Ok(id)
+    }
+
+    /// Creates a directory chain (each new directory gets its metadata
+    /// record, as in [`HacFs::mkdir`]).
+    pub fn mkdir_p(&self, path: &VPath) -> HacResult<FileId> {
+        let mut cur = VPath::root();
+        let mut id = FileId::ROOT;
+        for comp in path.components() {
+            cur = cur.join(comp)?;
+            match self.mkdir(&cur) {
+                Ok(new_id) => id = new_id,
+                Err(HacError::Vfs(hac_vfs::VfsError::AlreadyExists(_))) => {
+                    id = self.vfs.resolve_nofollow(&cur)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(id)
+    }
+
+    /// Creates an empty file.
+    pub fn create(&self, path: &VPath) -> HacResult<FileId> {
+        let id = self.vfs.create(path)?;
+        self.after_content_change(path, id)?;
+        Ok(id)
+    }
+
+    /// Creates or replaces a file with `data`.
+    pub fn save(&self, path: &VPath, data: &[u8]) -> HacResult<FileId> {
+        let id = self.vfs.save(path, data)?;
+        self.after_content_change(path, id)?;
+        Ok(id)
+    }
+
+    /// Overwrites an existing file.
+    pub fn write_file(&self, path: &VPath, data: &[u8]) -> HacResult<()> {
+        self.vfs.write_file(path, data)?;
+        let id = self.vfs.resolve(path)?;
+        self.after_content_change(path, id)?;
+        Ok(())
+    }
+
+    /// Appends to an existing file.
+    pub fn append(&self, path: &VPath, data: &[u8]) -> HacResult<()> {
+        self.vfs.append(path, data)?;
+        let id = self.vfs.resolve(path)?;
+        self.after_content_change(path, id)?;
+        Ok(())
+    }
+
+    fn after_content_change(&self, path: &VPath, id: FileId) -> HacResult<()> {
+        // Warm the shared attribute cache for the new content — §4: "when
+        // HAC creates a new file, it also initializes the open
+        // file-descriptor and the attribute-cache for that file. This
+        // helps to speed up Scan and Read operations on that file."
+        let _ = self.vfs.stat(path);
+        let mut state = self.state.write();
+        if !state.config.eager_content_index {
+            return Ok(());
+        }
+        state.index_file(&self.vfs, &self.registry, path, id);
+        let roots = self.ancestor_uids(&state, path);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a user symlink. Inside a semantic directory this is a
+    /// *permanent* link: the user added it, HAC will never remove it, and
+    /// it lifts any prohibition on the same target (§2.3 — prohibited links
+    /// are not re-added "without a direct action by the user"; this is that
+    /// direct action).
+    pub fn symlink(&self, path: &VPath, target: &VPath) -> HacResult<FileId> {
+        let id = self.vfs.symlink(path, target)?;
+        let mut state = self.state.write();
+        let parent_path = path.parent().unwrap_or_else(VPath::root);
+        if let Ok(parent) = self.vfs.resolve_nofollow(&parent_path) {
+            if state.semdirs.contains_key(&parent) {
+                let link_target = match decode_remote_target(target) {
+                    Some((ns, rid)) => Some(LinkTarget::Remote(ns, rid)),
+                    None => self.vfs.resolve(target).ok().map(LinkTarget::Local),
+                };
+                if let Some(t) = link_target {
+                    let name = path.file_name().unwrap_or("link").to_string();
+                    let sd = state.semdirs.get_mut(&parent).expect("checked above");
+                    sd.prohibited.remove(&t);
+                    sd.links.insert(
+                        name,
+                        LinkState {
+                            kind: LinkKind::Permanent,
+                            target: t,
+                        },
+                    );
+                    state.persist_dir(&self.vfs, parent);
+                }
+            }
+        }
+        let roots = self.ancestor_uids(&state, path);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(id)
+    }
+
+    /// Removes a file or symlink. Removing a link from a semantic directory
+    /// marks its target *prohibited* there (§2.3): the consistency
+    /// algorithm will never silently bring it back.
+    pub fn unlink(&self, path: &VPath) -> HacResult<()> {
+        let attr = self.vfs.lstat(path)?;
+        let parent_path = path.parent().unwrap_or_else(VPath::root);
+        let mut state = self.state.write();
+        if attr.kind == NodeKind::Symlink {
+            if let Ok(parent) = self.vfs.resolve_nofollow(&parent_path) {
+                if let Some(sd) = state.semdirs.get_mut(&parent) {
+                    let name = path.file_name().unwrap_or("").to_string();
+                    let target = match sd.links.remove(&name) {
+                        Some(s) => Some(s.target),
+                        None => {
+                            // Unrecorded user link: derive the target from
+                            // the live symlink so prohibition still sticks.
+                            self.vfs.readlink(path).ok().and_then(|t| {
+                                decode_remote_target(&t)
+                                    .map(|(ns, id)| LinkTarget::Remote(ns, id))
+                                    .or_else(|| self.vfs.resolve(&t).ok().map(LinkTarget::Local))
+                            })
+                        }
+                    };
+                    if let Some(t) = target {
+                        sd.prohibited.insert(t);
+                    }
+                    state.persist_dir(&self.vfs, parent);
+                }
+            }
+        }
+        if attr.kind == NodeKind::File && state.config.eager_content_index {
+            state.deindex_file(attr.id);
+        }
+        self.vfs.unlink(path)?;
+        let roots = self.ancestor_uids(&state, path);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Removes an empty directory, tearing down its HAC metadata.
+    pub fn rmdir(&self, path: &VPath) -> HacResult<()> {
+        let id = self.vfs.resolve_nofollow(path)?;
+        self.vfs.rmdir(path)?;
+        let mut state = self.state.write();
+        self.forget_dir(&mut state, id);
+        let roots = self.ancestor_uids(&state, path);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Recursively removes a subtree, tearing down all HAC metadata inside.
+    pub fn remove_recursive(&self, path: &VPath) -> HacResult<()> {
+        let entries = hac_vfs::walk(&self.vfs, path)?;
+        let mut state = self.state.write();
+        for entry in &entries {
+            match entry.attr.kind {
+                NodeKind::Dir => self.forget_dir(&mut state, entry.attr.id),
+                NodeKind::File => {
+                    if state.config.eager_content_index {
+                        state.deindex_file(entry.attr.id);
+                    }
+                }
+                NodeKind::Symlink => {}
+            }
+        }
+        self.vfs.remove_recursive(path)?;
+        let roots = self.ancestor_uids(&state, path);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    fn forget_dir(&self, state: &mut HacState, id: FileId) {
+        state.semdirs.remove(&id);
+        state.mounts.remove(&id);
+        if let Some(uid) = state.uids.remove_dir(id) {
+            state.graph.remove_node(uid);
+        }
+        state.remove_dir_record(&self.vfs, id);
+    }
+
+    /// Renames (moves) a file, symlink, or directory with full HAC
+    /// semantics:
+    ///
+    /// * moving a *symlink out of* a semantic directory prohibits its
+    ///   target there (it was removed from that result set) and moving one
+    ///   *into* a semantic directory records it as permanent;
+    /// * moving a *semantic directory* rewires its hierarchy dependency to
+    ///   the new parent — §2.3 case 2 — and is refused (rolled back) if the
+    ///   rewiring would create a dependency cycle;
+    /// * afterwards, scope consistency is restored for everything that
+    ///   depended on either location.
+    pub fn rename(&self, from: &VPath, to: &VPath) -> HacResult<()> {
+        let attr = self.vfs.lstat(from)?;
+        let from_parent_path = from.parent().unwrap_or_else(VPath::root);
+        let to_parent_path = to.parent().unwrap_or_else(VPath::root);
+
+        self.vfs.rename(from, to)?;
+        let mut state = self.state.write();
+
+        // Symlink classification transfer.
+        if attr.kind == NodeKind::Symlink {
+            let from_parent = self.vfs.resolve_nofollow(&from_parent_path).ok();
+            let to_parent = self.vfs.resolve_nofollow(&to_parent_path).ok();
+            let mut moved_target: Option<LinkTarget> = None;
+            if let Some(fp) = from_parent {
+                if let Some(sd) = state.semdirs.get_mut(&fp) {
+                    let name = from.file_name().unwrap_or("").to_string();
+                    if let Some(s) = sd.links.remove(&name) {
+                        moved_target = Some(s.target.clone());
+                        sd.prohibited.insert(s.target);
+                    }
+                    state.persist_dir(&self.vfs, fp);
+                }
+            }
+            if let Some(tp) = to_parent {
+                if state.semdirs.contains_key(&tp) {
+                    let target = moved_target.or_else(|| {
+                        self.vfs.readlink(to).ok().and_then(|t| {
+                            decode_remote_target(&t)
+                                .map(|(ns, id)| LinkTarget::Remote(ns, id))
+                                .or_else(|| self.vfs.resolve(&t).ok().map(LinkTarget::Local))
+                        })
+                    });
+                    if let Some(t) = target {
+                        let name = to.file_name().unwrap_or("link").to_string();
+                        let sd = state.semdirs.get_mut(&tp).expect("checked above");
+                        sd.prohibited.remove(&t);
+                        sd.links.insert(
+                            name,
+                            LinkState {
+                                kind: LinkKind::Permanent,
+                                target: t,
+                            },
+                        );
+                        state.persist_dir(&self.vfs, tp);
+                    }
+                }
+            }
+        }
+
+        // Directory moved: every semantic directory in the moved subtree
+        // whose scope anchor changed must have its hierarchy edge rewired
+        // (§2.3 inconsistency source 2). Rewiring is transactional — a
+        // cycle rolls back both the graph and the rename.
+        if attr.kind == NodeKind::Dir {
+            let moved_semdirs: Vec<FileId> = hac_vfs::walk(&self.vfs, to)?
+                .into_iter()
+                .filter(|e| e.attr.kind == NodeKind::Dir)
+                .map(|e| e.attr.id)
+                .filter(|id| state.semdirs.contains_key(id))
+                .collect();
+            if !moved_semdirs.is_empty() {
+                let old_graph = state.graph.clone();
+                let mut failed = false;
+                for dir in &moved_semdirs {
+                    let anchor = state.scope_anchor(&self.vfs, *dir);
+                    let uid = state.uids.uid_for(*dir);
+                    let anchor_uid = state.uids.uid_for(anchor);
+                    state
+                        .graph
+                        .clear_edges(uid, crate::depgraph::EdgeKind::Hierarchy);
+                    if !state
+                        .graph
+                        .add_edge(uid, anchor_uid, crate::depgraph::EdgeKind::Hierarchy)
+                    {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    state.graph = old_graph;
+                    self.vfs.rename(to, from)?;
+                    return Err(HacError::CycleDetected { at: to.clone() });
+                }
+                // The moved directories' scopes changed with their anchors:
+                // re-evaluate them (dependency order) before dependents.
+                if state.config.auto_scope_sync {
+                    let uids: Vec<_> = moved_semdirs
+                        .iter()
+                        .map(|d| state.uids.uid_for(*d))
+                        .collect();
+                    for uid in state.graph.full_order(uids) {
+                        if let Some(dir) = state.uids.dir_of(uid) {
+                            state.resync_dir(&self.vfs, &self.registry, dir)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut roots = self.ancestor_uids(&state, from);
+        roots.extend(self.ancestor_uids(&state, to));
+        if let Some(uid) = state.uids.get_uid(attr.id) {
+            roots.push(uid);
+        }
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// UIDs of every ancestor directory of `path` (including the parent and
+    /// the root) that participates in the dependency graph. These are the
+    /// scope-change roots for a mutation at `path`.
+    fn ancestor_uids(&self, state: &HacState, path: &VPath) -> Vec<DirUid> {
+        let mut out = Vec::new();
+        let mut cur = path.parent();
+        while let Some(p) = cur {
+            if let Ok(id) = self.vfs.resolve_nofollow(&p) {
+                if let Some(uid) = state.uids.get_uid(id) {
+                    out.push(uid);
+                }
+            }
+            cur = p.parent();
+        }
+        // The root itself.
+        if let Some(uid) = state.uids.get_uid(FileId::ROOT) {
+            if !out.contains(&uid) {
+                out.push(uid);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Semantic operations
+    // ------------------------------------------------------------------
+
+    /// `smkdir`: creates a *semantic directory* with `query_text` and
+    /// populates it with transient links to every in-scope match.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, unknown query targets, and [`HacError::CycleDetected`]
+    /// if a directory reference would close a dependency cycle (the new
+    /// directory is not created in that case).
+    pub fn smkdir(&self, path: &VPath, query_text: &str) -> HacResult<FileId> {
+        if path.is_root() {
+            return Err(HacError::RootHasNoQuery);
+        }
+        let mut query = parse(query_text)?;
+        let dir = self.vfs.mkdir(path)?;
+        let mut state = self.state.write();
+        if let Err(e) = state.install_query_edges(&self.vfs, dir, &mut query, path) {
+            drop(state);
+            let _ = self.vfs.rmdir(path);
+            return Err(e);
+        }
+        let uid = state.uids.uid_for(dir);
+        state.semdirs.insert(dir, SemDir::new(uid, dir, query));
+        state.resync_dir(&self.vfs, &self.registry, dir)?;
+        Ok(dir)
+    }
+
+    /// `schquery`: replaces the query of a semantic directory and restores
+    /// scope consistency for it and everything depending on it (§2.3
+    /// inconsistency source 4).
+    pub fn set_query(&self, path: &VPath, query_text: &str) -> HacResult<()> {
+        let mut query = parse(query_text)?;
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let mut state = self.state.write();
+        if !state.semdirs.contains_key(&dir) {
+            return Err(HacError::NotSemantic(path.clone()));
+        }
+        state.install_query_edges(&self.vfs, dir, &mut query, path)?;
+        state
+            .semdirs
+            .get_mut(&dir)
+            .expect("presence checked above")
+            .query = query;
+        state.resync_dir(&self.vfs, &self.registry, dir)?;
+        let uid = state.uids.uid_for(dir);
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, [uid])?;
+        }
+        Ok(())
+    }
+
+    /// `sreadq`: the query of a semantic directory, rendered with current
+    /// path names (UIDs are translated back through the global map).
+    pub fn get_query(&self, path: &VPath) -> HacResult<String> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        Ok(sd.query.display_with(|uid| {
+            state
+                .uids
+                .dir_of(uid)
+                .and_then(|d| self.vfs.path_of(d).ok())
+        }))
+    }
+
+    /// Whether `path` is a semantic directory.
+    pub fn is_semantic(&self, path: &VPath) -> bool {
+        self.vfs
+            .resolve_nofollow(path)
+            .map(|id| self.state.read().semdirs.contains_key(&id))
+            .unwrap_or(false)
+    }
+
+    /// `ssync`: re-indexes the subtree at `path`, repairs renamed link
+    /// targets, and re-evaluates every semantic directory in dependency
+    /// order. This is the paper's explicit reindex trigger; the periodic
+    /// daemon calls it too.
+    pub fn ssync(&self, path: &VPath) -> HacResult<SyncReport> {
+        let mut state = self.state.write();
+        let mut report = state.sync_subtree(&self.vfs, &self.registry, path);
+        report.links_repaired = state.repair_links(&self.vfs)?;
+        report.dirs_synced = state.resync_all(&self.vfs, &self.registry)?;
+        Ok(report)
+    }
+
+    /// Rebuilds the entire index from scratch and resynchronizes (the
+    /// heavyweight periodic reindex; `ssync` is the incremental path).
+    pub fn reindex_full(&self) -> HacResult<SyncReport> {
+        {
+            let mut state = self.state.write();
+            let granularity = state.config.granularity;
+            state.index = hac_index::Index::new(granularity);
+        }
+        self.ssync(&VPath::root())
+    }
+
+    /// `smount`: mounts a remote query system at an existing directory,
+    /// making it a *semantic mount point* (§3). Several name spaces may be
+    /// mounted on the same point (§3.2); results are unioned.
+    pub fn smount(&self, at: &VPath, remote: Arc<dyn RemoteQuerySystem>) -> HacResult<()> {
+        let dir = self.vfs.resolve_nofollow(at)?;
+        if !self.vfs.lstat(at)?.is_dir() {
+            return Err(HacError::NotADirectory(at.clone()));
+        }
+        let mut state = self.state.write();
+        state.mounts.entry(dir).or_default().push(remote);
+        let mut roots = self.ancestor_uids(&state, at);
+        if let Some(uid) = state.uids.get_uid(dir) {
+            roots.push(uid);
+        }
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Unmounts one namespace (or all, with `None`) from a semantic mount
+    /// point. Transient links imported from it disappear at the next
+    /// resynchronization of each importing directory.
+    pub fn sunmount(&self, at: &VPath, ns: Option<&NamespaceId>) -> HacResult<()> {
+        let dir = self.vfs.resolve_nofollow(at)?;
+        let mut state = self.state.write();
+        let Some(mounted) = state.mounts.get_mut(&dir) else {
+            return Err(HacError::NotMounted(at.clone()));
+        };
+        match ns {
+            Some(ns) => {
+                let before = mounted.len();
+                mounted.retain(|r| &r.namespace() != ns);
+                if mounted.len() == before {
+                    return Err(HacError::NotMounted(at.clone()));
+                }
+            }
+            None => mounted.clear(),
+        }
+        if mounted.is_empty() {
+            state.mounts.remove(&dir);
+        }
+        let mut roots = self.ancestor_uids(&state, at);
+        if let Some(uid) = state.uids.get_uid(dir) {
+            roots.push(uid);
+        }
+        if state.config.auto_scope_sync {
+            state.resync_dependents(&self.vfs, &self.registry, roots)?;
+        }
+        Ok(())
+    }
+
+    /// Namespaces mounted at `at`.
+    pub fn mounts_at(&self, at: &VPath) -> HacResult<Vec<NamespaceId>> {
+        let dir = self.vfs.resolve_nofollow(at)?;
+        Ok(self
+            .state
+            .read()
+            .mounts
+            .get(&dir)
+            .map(|rs| rs.iter().map(|r| r.namespace()).collect())
+            .unwrap_or_default())
+    }
+
+    /// `sact`: given a symlink inside a semantic directory, returns the
+    /// lines of the target that match the directory's query terms — "the
+    /// information in the corresponding file that matches the query of the
+    /// directory".
+    pub fn sact(&self, link: &VPath) -> HacResult<Vec<String>> {
+        let parent_path = link
+            .parent()
+            .ok_or_else(|| HacError::NoQueryContext(link.clone()))?;
+        let parent = self.vfs.resolve_nofollow(&parent_path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&parent)
+            .ok_or_else(|| HacError::NoQueryContext(link.clone()))?;
+        let mut needles: Vec<String> = Vec::new();
+        sd.query.expr.walk(&mut |e| match e {
+            hac_query::QueryExpr::Term(t) => needles.push(t.clone()),
+            hac_query::QueryExpr::Field(_, v) => needles.push(v.clone()),
+            hac_query::QueryExpr::Phrase(ws) => needles.extend(ws.iter().cloned()),
+            hac_query::QueryExpr::Approx(t, _) => needles.push(t.clone()),
+            _ => {}
+        });
+        let content = self.fetch_link_bytes(&state, link)?;
+        let text = String::from_utf8_lossy(&content);
+        Ok(text
+            .lines()
+            .filter(|line| {
+                let lower = line.to_ascii_lowercase();
+                needles.iter().any(|n| lower.contains(n.as_str()))
+            })
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// Reads the content behind a symlink — local targets through the
+    /// namespace, remote targets through the owning mount.
+    pub fn fetch_link(&self, link: &VPath) -> HacResult<Vec<u8>> {
+        let state = self.state.read();
+        self.fetch_link_bytes(&state, link)
+    }
+
+    fn fetch_link_bytes(&self, state: &HacState, link: &VPath) -> HacResult<Vec<u8>> {
+        let target = self.vfs.readlink(link)?;
+        match decode_remote_target(&target) {
+            Some((ns, id)) => {
+                let remote = state
+                    .find_remote(&ns)
+                    .ok_or_else(|| HacError::NotMounted(link.clone()))?;
+                Ok(remote.fetch(&id)?)
+            }
+            None => Ok(self.vfs.read_file(&target)?.to_vec()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The footnote API: direct permanent/prohibited manipulation
+    // ------------------------------------------------------------------
+
+    /// Lists the classified links of a semantic directory, sorted by name.
+    pub fn list_links(&self, path: &VPath) -> HacResult<Vec<LinkInfo>> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        let mut out: Vec<LinkInfo> = sd
+            .links
+            .iter()
+            .map(|(name, s)| LinkInfo {
+                name: name.clone(),
+                kind: s.kind,
+                target: s.target.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// Promotes a transient link to permanent: HAC will keep it even when
+    /// it stops matching the query or leaves the scope.
+    pub fn make_permanent(&self, link: &VPath) -> HacResult<()> {
+        let parent_path = link
+            .parent()
+            .ok_or_else(|| HacError::NoQueryContext(link.clone()))?;
+        let dir = self.vfs.resolve_nofollow(&parent_path)?;
+        let mut state = self.state.write();
+        let sd = state
+            .semdirs
+            .get_mut(&dir)
+            .ok_or_else(|| HacError::NotSemantic(parent_path.clone()))?;
+        let name = link.file_name().unwrap_or("").to_string();
+        match sd.links.get_mut(&name) {
+            Some(s) => {
+                s.kind = LinkKind::Permanent;
+                state.persist_dir(&self.vfs, dir);
+                Ok(())
+            }
+            None => Err(HacError::Vfs(hac_vfs::VfsError::NotFound(link.clone()))),
+        }
+    }
+
+    /// The prohibited targets of a semantic directory.
+    pub fn list_prohibited(&self, path: &VPath) -> HacResult<Vec<LinkTarget>> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        let mut v: Vec<LinkTarget> = sd.prohibited.iter().cloned().collect();
+        v.sort();
+        Ok(v)
+    }
+
+    /// Removes a prohibition, letting the next resynchronization re-add a
+    /// transient link if the target matches again.
+    pub fn forgive(&self, path: &VPath, target: &LinkTarget) -> HacResult<bool> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let mut state = self.state.write();
+        let sd = state
+            .semdirs
+            .get_mut(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        let removed = sd.prohibited.remove(target);
+        if removed {
+            state.persist_dir(&self.vfs, dir);
+            if state.config.auto_scope_sync {
+                state.resync_dir(&self.vfs, &self.registry, dir)?;
+                let uid = state.uids.uid_for(dir);
+                state.resync_dependents(&self.vfs, &self.registry, [uid])?;
+            }
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Index persistence
+    // ------------------------------------------------------------------
+
+    /// Persists the content index into the reserved metadata area, so a
+    /// restored snapshot can warm-start with [`HacFs::load_index`] instead
+    /// of re-tokenizing every file (Glimpse likewise keeps its index files
+    /// on disk).
+    pub fn persist_index(&self) -> HacResult<()> {
+        let state = self.state.read();
+        let bytes = hac_vfs::persist::encode_value(&state.index)
+            .map_err(|_| HacError::Vfs(hac_vfs::VfsError::Unsupported("index encode")))?;
+        drop(state);
+        let meta_dir = VPath::from_components([crate::state::META_DIR])?;
+        self.vfs.mkdir_p(&meta_dir)?;
+        self.vfs.save(&meta_dir.join("index")?, &bytes)?;
+        Ok(())
+    }
+
+    /// Loads a previously persisted index. Returns `false` (leaving the
+    /// current index untouched) when none exists or it fails to decode.
+    /// Content that changed since the index was persisted is reconciled by
+    /// the next `ssync`, exactly like any other stale index state.
+    pub fn load_index(&self) -> HacResult<bool> {
+        let meta_dir = VPath::from_components([crate::state::META_DIR])?;
+        let Ok(bytes) = self.vfs.read_file(&meta_dir.join("index")?) else {
+            return Ok(false);
+        };
+        let Ok(index) = hac_vfs::persist::decode_value::<hac_index::Index>(&bytes) else {
+            return Ok(false);
+        };
+        self.state.write().index = index;
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata recovery
+    // ------------------------------------------------------------------
+
+    /// Rebuilds HAC metadata (semantic directories, UID bindings, link
+    /// classification, prohibited sets, dependency graph) from the
+    /// persisted records in the reserved metadata area. Combined with a
+    /// VFS snapshot this makes a whole HAC file system durable:
+    ///
+    /// 1. `hac_vfs::persist::snapshot(fs.vfs())` — namespace + metadata;
+    /// 2. restore into a fresh VFS;
+    /// 3. `recover_metadata()` on a new `HacFs` over it;
+    /// 4. `ssync("/")` to rebuild the (volatile) index.
+    ///
+    /// Returns the number of semantic directories recovered. Records whose
+    /// directory no longer exists are skipped; queries that no longer parse
+    /// or whose references vanished are skipped (the directory degrades to
+    /// a plain one rather than poisoning recovery).
+    pub fn recover_metadata(&self) -> HacResult<u64> {
+        let meta_dir = VPath::from_components([crate::state::META_DIR])?;
+        let entries = match self.vfs.readdir(&meta_dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(0),
+        };
+        let mut state = self.state.write();
+        let mut recovered = 0;
+        // Pass 1: restore UID bindings (queries reference them).
+        let mut records: Vec<(FileId, crate::state::DirRecordDisk)> = Vec::new();
+        for entry in &entries {
+            let Some(num) = entry
+                .name
+                .strip_prefix('d')
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let dir = FileId(num);
+            // The directory must still exist and be a directory.
+            let Ok(path) = self.vfs.path_of(dir) else {
+                continue;
+            };
+            let Ok(attr) = self.vfs.lstat(&path) else {
+                continue;
+            };
+            if !attr.is_dir() {
+                continue;
+            }
+            let Ok(meta_path) = meta_dir.join(&entry.name) else {
+                continue;
+            };
+            let Ok(bytes) = self.vfs.read_file(&meta_path) else {
+                continue;
+            };
+            let Ok(record) = hac_vfs::persist::decode_value::<crate::state::DirRecordDisk>(&bytes)
+            else {
+                continue;
+            };
+            state.uids.bind(DirUid(record.uid), dir);
+            records.push((dir, record));
+        }
+        // Pass 2: rebuild semantic directories and their edges.
+        for (dir, record) in records {
+            let Some(query_text) = record.query else {
+                continue;
+            };
+            let Ok(mut query) = parse(&query_text) else {
+                continue;
+            };
+            let Ok(dir_path) = self.vfs.path_of(dir) else {
+                continue;
+            };
+            if state
+                .install_query_edges(&self.vfs, dir, &mut query, &dir_path)
+                .is_err()
+            {
+                continue;
+            }
+            let uid = DirUid(record.uid);
+            let mut sd = SemDir::new(uid, dir, query);
+            for (name, kind, encoded) in record.links {
+                let Some(target) = crate::state::decode_target(&encoded) else {
+                    continue;
+                };
+                let kind = if kind == 1 {
+                    LinkKind::Permanent
+                } else {
+                    LinkKind::Transient
+                };
+                sd.links.insert(name, LinkState { kind, target });
+            }
+            for encoded in record.prohibited {
+                if let Some(target) = crate::state::decode_target(&encoded) {
+                    sd.prohibited.insert(target);
+                }
+            }
+            state.semdirs.insert(dir, sd);
+            recovered += 1;
+        }
+        Ok(recovered)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests, benches and tools
+    // ------------------------------------------------------------------
+
+    /// Runs an ad-hoc query against the scope provided by `scope_dir`
+    /// without creating a directory (raw Glimpse-style search, the baseline
+    /// of Table 4).
+    pub fn search(&self, scope_dir: &VPath, query_text: &str) -> HacResult<Vec<VPath>> {
+        let query = parse(query_text)?;
+        let dir = self.vfs.resolve_nofollow(scope_dir)?;
+        let state = self.state.read();
+        // "Search within this directory" means the reference scope: the
+        // curated set for a semantic directory, the subtree for a plain one.
+        let scope = state.reference_scope(&self.vfs, dir);
+        let result = state.eval_local(&self.vfs, &self.registry, &query.expr, &scope.local);
+        Ok(result
+            .ids()
+            .into_iter()
+            .filter_map(|doc| self.vfs.path_of(FileId(doc.0)).ok())
+            .collect())
+    }
+
+    /// Like [`HacFs::search`], additionally returning the index's work
+    /// counters — how many candidates were examined, how many verified
+    /// against live content, how many were index false positives. The
+    /// shell's `explain` command prints this.
+    pub fn search_explained(
+        &self,
+        scope_dir: &VPath,
+        query_text: &str,
+    ) -> HacResult<(Vec<VPath>, hac_index::EvalStats)> {
+        let query = parse(query_text)?;
+        let dir = self.vfs.resolve_nofollow(scope_dir)?;
+        let state = self.state.read();
+        let scope = state.reference_scope(&self.vfs, dir);
+        let mut stats = hac_index::EvalStats::default();
+        let result = state.eval_local_counted(
+            &self.vfs,
+            &self.registry,
+            &query.expr,
+            &scope.local,
+            &mut stats,
+        );
+        let hits = result
+            .ids()
+            .into_iter()
+            .filter_map(|doc| self.vfs.path_of(FileId(doc.0)).ok())
+            .collect();
+        Ok((hits, stats))
+    }
+
+    /// The scope a directory currently provides (diagnostics).
+    pub fn scope_of(&self, path: &VPath) -> HacResult<Scope> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        Ok(state.scope_provided(&self.vfs, dir))
+    }
+
+    /// The last evaluated local result bitmap of a semantic directory.
+    pub fn result_bitmap(&self, path: &VPath) -> HacResult<Bitmap> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        Ok(sd.last_result.clone())
+    }
+
+    /// Index statistics (Table 3).
+    pub fn index_stats(&self) -> IndexStats {
+        self.state.read().index.stats()
+    }
+
+    /// Resident bytes of all HAC metadata (§4 in-text space overhead).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.state.read().metadata_bytes()
+    }
+
+    /// Whether a file is currently indexed.
+    pub fn is_indexed(&self, path: &VPath) -> bool {
+        match self.vfs.resolve(path) {
+            Ok(id) => self.state.read().index.is_indexed(DocId(id.0)),
+            Err(_) => false,
+        }
+    }
+
+    /// Evaluation provider (verification callback) — exposed for benches.
+    pub fn provider(&self) -> VfsProvider<'_> {
+        VfsProvider {
+            vfs: &self.vfs,
+            registry: &self.registry,
+        }
+    }
+
+    /// Declassifies and returns the query of a semantic directory (typed
+    /// form, for tools).
+    pub fn query_of(&self, path: &VPath) -> HacResult<Query> {
+        let dir = self.vfs.resolve_nofollow(path)?;
+        let state = self.state.read();
+        let sd = state
+            .semdirs
+            .get(&dir)
+            .ok_or_else(|| HacError::NotSemantic(path.clone()))?;
+        Ok(sd.query.clone())
+    }
+}

@@ -1,0 +1,42 @@
+//! # hac-core — the HAC file system
+//!
+//! Reproduction of the core contribution of *Integrating Content-Based
+//! Access Mechanisms with Hierarchical File Systems* (Gopal & Manber,
+//! OSDI '99): a file system that is simultaneously a full hierarchical
+//! namespace and a content-addressed one.
+//!
+//! * [`fs::HacFs`] — the facade: every UNIX operation plus the paper's
+//!   semantic commands (`smkdir`, `ssync`, `smount`, `sact`, query
+//!   get/set);
+//! * [`semdir`] — semantic directories with the transient / permanent /
+//!   prohibited link classification of §2.3;
+//! * [`state`] — the scope-consistency and data-consistency engines;
+//! * [`depgraph`] — the §2.5 dependency DAG with cycle refusal and
+//!   topological update scheduling;
+//! * [`uidmap`] — rename-stable directory identifiers inside queries;
+//! * [`scope`] / [`remote`] — scopes spanning local files and semantic
+//!   mount points (§3), including multiple mounts per point;
+//! * [`daemon`] — the periodic reindexer of §2.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod depgraph;
+pub mod error;
+pub mod fs;
+pub mod remote;
+pub mod scope;
+pub mod semdir;
+pub mod state;
+pub mod uidmap;
+
+pub use daemon::ReindexDaemon;
+pub use depgraph::{DepGraph, EdgeKind};
+pub use error::{HacError, HacResult};
+pub use fs::{HacFs, LinkInfo};
+pub use remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+pub use scope::{RemoteSet, Scope};
+pub use semdir::{LinkKind, LinkState, LinkTarget, SemDir};
+pub use state::{HacConfig, SyncReport};
+pub use uidmap::UidMap;

@@ -1,0 +1,190 @@
+//! Remote name spaces (§3 of the paper).
+//!
+//! A *semantic mount point* connects local queries to a remote file or
+//! query system. The remote side only has to answer content queries in the
+//! shared query language — it does not need hierarchy, symlinks, or HAC.
+//! `hac-remote` provides concrete implementations (a simulated web search
+//! engine, another HAC instance, a flat file server); the trait lives here
+//! so the core can be tested with in-crate fakes.
+
+use std::fmt;
+
+use hac_index::ContentExpr;
+
+/// Identifier of a mounted remote name space. Must be unique among the
+/// remotes mounted into one `HacFs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NamespaceId(pub String);
+
+impl fmt::Display for NamespaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One result returned by a remote query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteDoc {
+    /// Remote-unique identifier (URL, path, object key — opaque to HAC).
+    pub id: String,
+    /// Human-readable title used to name the imported symlink.
+    pub title: String,
+}
+
+/// Errors surfaced by remote name spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The remote is unreachable or refused the request.
+    Unavailable(String),
+    /// The request exceeded the remote's deadline.
+    Timeout,
+    /// The requested document does not exist remotely.
+    NotFound(String),
+    /// The remote cannot evaluate this query shape.
+    UnsupportedQuery(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Unavailable(m) => write!(f, "remote unavailable: {m}"),
+            RemoteError::Timeout => write!(f, "remote timed out"),
+            RemoteError::NotFound(id) => write!(f, "remote document not found: {id}"),
+            RemoteError::UnsupportedQuery(m) => write!(f, "remote cannot evaluate query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// A remote file or query system reachable through a semantic mount point.
+///
+/// The paper's only requirement: "all name spaces mounted on a multiple
+/// semantic mount point must be accessible via the same query language."
+/// Queries arrive as [`ContentExpr`] — the content projection of the local
+/// query (directory references are resolved locally and never shipped).
+pub trait RemoteQuerySystem: Send + Sync {
+    /// This remote's stable namespace id.
+    fn namespace(&self) -> NamespaceId;
+
+    /// Evaluates a content query, returning matching remote documents.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report connectivity and capability problems via
+    /// [`RemoteError`]; HAC keeps the previous imported results for this
+    /// namespace when a refresh fails.
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError>;
+
+    /// Fetches a remote document's content (for `sact` and browsing).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::NotFound`] for unknown ids, plus connectivity errors.
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError>;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! In-crate fake remote for core tests.
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use super::*;
+
+    /// A fake remote with a fixed corpus of (id, words) pairs.
+    pub struct FakeRemote {
+        pub ns: &'static str,
+        pub docs: Vec<(&'static str, &'static str)>,
+        pub fail: AtomicBool,
+        pub searches: AtomicU64,
+    }
+
+    impl FakeRemote {
+        pub fn new(ns: &'static str, docs: Vec<(&'static str, &'static str)>) -> Self {
+            FakeRemote {
+                ns,
+                docs,
+                fail: AtomicBool::new(false),
+                searches: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl RemoteQuerySystem for FakeRemote {
+        fn namespace(&self) -> NamespaceId {
+            NamespaceId(self.ns.to_string())
+        }
+
+        fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+            self.searches.fetch_add(1, Ordering::Relaxed);
+            if self.fail.load(Ordering::Relaxed) {
+                return Err(RemoteError::Unavailable("injected failure".into()));
+            }
+            fn matches(q: &ContentExpr, words: &[&str]) -> bool {
+                match q {
+                    ContentExpr::Term(t) => words.contains(&t.as_str()),
+                    ContentExpr::All => true,
+                    ContentExpr::Nothing => false,
+                    ContentExpr::And(a, b) => matches(a, words) && matches(b, words),
+                    ContentExpr::Or(a, b) => matches(a, words) || matches(b, words),
+                    ContentExpr::AndNot(a, b) => matches(a, words) && !matches(b, words),
+                    ContentExpr::Not(a) => !matches(a, words),
+                    ContentExpr::Field(..)
+                    | ContentExpr::Phrase(_)
+                    | ContentExpr::Approx(..)
+                    | ContentExpr::Prefix(_) => false,
+                }
+            }
+            Ok(self
+                .docs
+                .iter()
+                .filter(|(_, text)| {
+                    let words: Vec<&str> = text.split_whitespace().collect();
+                    matches(query, &words)
+                })
+                .map(|(id, _)| RemoteDoc {
+                    id: id.to_string(),
+                    title: id.to_string(),
+                })
+                .collect())
+        }
+
+        fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+            self.docs
+                .iter()
+                .find(|(d, _)| *d == id)
+                .map(|(_, text)| text.as_bytes().to_vec())
+                .ok_or_else(|| RemoteError::NotFound(id.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::FakeRemote;
+    use super::*;
+
+    #[test]
+    fn fake_remote_answers_boolean_queries() {
+        let r = FakeRemote::new(
+            "lib",
+            vec![("a", "fingerprint minutiae"), ("b", "cooking pasta")],
+        );
+        let hits = r.search(&ContentExpr::term("fingerprint")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, "a");
+        assert_eq!(r.fetch("b").unwrap(), b"cooking pasta".to_vec());
+        assert!(matches!(r.fetch("zz"), Err(RemoteError::NotFound(_))));
+    }
+
+    #[test]
+    fn fake_remote_failure_injection() {
+        let r = FakeRemote::new("lib", vec![]);
+        r.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(matches!(
+            r.search(&ContentExpr::All),
+            Err(RemoteError::Unavailable(_))
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Query scopes (§2.3, §3).
+//!
+//! Every query is evaluated over a *scope* — the set of files the paper
+//! allows it to see. A scope has a local part (a bitmap over indexed files)
+//! and, when semantic mount points are in play, a remote part: per mounted
+//! namespace, either *everything the remote knows* (the mount itself is in
+//! scope) or *an explicit id set* (the parent semantic directory's imported
+//! results, which refine further queries).
+
+use std::collections::{HashMap, HashSet};
+
+use hac_index::Bitmap;
+
+use crate::remote::NamespaceId;
+
+/// The remote portion of a scope for one namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteSet {
+    /// The whole namespace is in scope (a mount point is inside the scope
+    /// subtree).
+    All,
+    /// Only these remote documents are in scope (refinement under a
+    /// semantic directory that imported them).
+    Ids(HashSet<String>),
+}
+
+impl RemoteSet {
+    /// Whether a remote id is inside this set.
+    pub fn contains(&self, id: &str) -> bool {
+        match self {
+            RemoteSet::All => true,
+            RemoteSet::Ids(ids) => ids.contains(id),
+        }
+    }
+
+    /// Intersection (refinement) of two sets.
+    pub fn intersect(&self, other: &RemoteSet) -> RemoteSet {
+        match (self, other) {
+            (RemoteSet::All, o) => o.clone(),
+            (s, RemoteSet::All) => s.clone(),
+            (RemoteSet::Ids(a), RemoteSet::Ids(b)) => {
+                RemoteSet::Ids(a.intersection(b).cloned().collect())
+            }
+        }
+    }
+}
+
+/// The scope provided by a directory (§2.3: "the set of files over which
+/// the query is evaluated").
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Local indexed files in scope.
+    pub local: Bitmap,
+    /// Remote documents in scope, per mounted namespace. A namespace absent
+    /// from the map is *out of scope entirely*.
+    pub remotes: HashMap<NamespaceId, RemoteSet>,
+}
+
+impl Scope {
+    /// An empty scope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A purely local scope.
+    pub fn local_only(local: Bitmap) -> Self {
+        Scope {
+            local,
+            remotes: HashMap::new(),
+        }
+    }
+
+    /// Marks an entire namespace as in scope.
+    pub fn add_namespace_all(&mut self, ns: NamespaceId) {
+        self.remotes.insert(ns, RemoteSet::All);
+    }
+
+    /// Adds an explicit remote id to the scope.
+    pub fn add_remote_id(&mut self, ns: NamespaceId, id: String) {
+        match self
+            .remotes
+            .entry(ns)
+            .or_insert_with(|| RemoteSet::Ids(HashSet::new()))
+        {
+            RemoteSet::All => {}
+            RemoteSet::Ids(ids) => {
+                ids.insert(id);
+            }
+        }
+    }
+
+    /// Total number of in-scope items that can be counted (remote `All`
+    /// namespaces count as unknown and are excluded).
+    pub fn countable_len(&self) -> u64 {
+        let remote: u64 = self
+            .remotes
+            .values()
+            .map(|s| match s {
+                RemoteSet::All => 0,
+                RemoteSet::Ids(ids) => ids.len() as u64,
+            })
+            .sum();
+        self.local.count() + remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_index::DocId;
+
+    fn ns(s: &str) -> NamespaceId {
+        NamespaceId(s.to_string())
+    }
+
+    #[test]
+    fn remote_set_contains_and_intersect() {
+        let all = RemoteSet::All;
+        let some = RemoteSet::Ids(["a".to_string(), "b".to_string()].into_iter().collect());
+        assert!(all.contains("anything"));
+        assert!(some.contains("a"));
+        assert!(!some.contains("c"));
+        assert_eq!(all.intersect(&some), some);
+        assert_eq!(some.intersect(&all), some);
+        let other = RemoteSet::Ids(["b".to_string(), "c".to_string()].into_iter().collect());
+        assert_eq!(
+            some.intersect(&other),
+            RemoteSet::Ids(["b".to_string()].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn scope_accumulates_remote_ids() {
+        let mut s = Scope::new();
+        s.add_remote_id(ns("lib"), "d1".into());
+        s.add_remote_id(ns("lib"), "d2".into());
+        assert!(s.remotes[&ns("lib")].contains("d1"));
+        // Promoting to All swallows id additions afterwards.
+        s.add_namespace_all(ns("lib"));
+        s.add_remote_id(ns("lib"), "d3".into());
+        assert_eq!(s.remotes[&ns("lib")], RemoteSet::All);
+    }
+
+    #[test]
+    fn countable_len_counts_local_and_explicit_remotes() {
+        let mut s = Scope::local_only(Bitmap::from_ids([DocId(1), DocId(2)]));
+        s.add_remote_id(ns("lib"), "d1".into());
+        s.add_namespace_all(ns("web"));
+        assert_eq!(s.countable_len(), 3);
+    }
+}

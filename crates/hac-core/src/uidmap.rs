@@ -1,0 +1,114 @@
+//! The global UID map (§2.5).
+//!
+//! The paper stores rename-stable *unique identifiers* inside queries and
+//! keeps one global map from identifiers to directory path names, updated
+//! on rename. Our substrate's inode ids are already rename-stable, so the
+//! map binds `DirUid ↔ FileId` and derives current path names from the live
+//! namespace; the observable contract — queries keep working across
+//! renames without being rewritten — is identical.
+
+use std::collections::HashMap;
+
+use hac_query::DirUid;
+use hac_vfs::FileId;
+
+/// Bidirectional UID ↔ directory map.
+#[derive(Debug, Default, Clone)]
+pub struct UidMap {
+    by_uid: HashMap<DirUid, FileId>,
+    by_file: HashMap<FileId, DirUid>,
+    next: u64,
+}
+
+impl UidMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the UID of a directory, allocating one on first use. Every
+    /// directory that is ever referenced by a query or carries a query gets
+    /// a UID; plain never-referenced directories do not pay the cost.
+    pub fn uid_for(&mut self, dir: FileId) -> DirUid {
+        if let Some(uid) = self.by_file.get(&dir) {
+            return *uid;
+        }
+        let uid = DirUid(self.next);
+        self.next += 1;
+        self.by_uid.insert(uid, dir);
+        self.by_file.insert(dir, uid);
+        uid
+    }
+
+    /// Restores a specific UID ↔ directory binding (metadata recovery).
+    /// Future allocations are bumped past the restored UID.
+    pub fn bind(&mut self, uid: DirUid, dir: FileId) {
+        self.by_uid.insert(uid, dir);
+        self.by_file.insert(dir, uid);
+        self.next = self.next.max(uid.0 + 1);
+    }
+
+    /// Looks up a UID without allocating.
+    pub fn get_uid(&self, dir: FileId) -> Option<DirUid> {
+        self.by_file.get(&dir).copied()
+    }
+
+    /// Resolves a UID to its directory.
+    pub fn dir_of(&self, uid: DirUid) -> Option<FileId> {
+        self.by_uid.get(&uid).copied()
+    }
+
+    /// Forgets a deleted directory. Queries still referencing the UID will
+    /// report [`crate::HacError::UnknownUid`] at evaluation time.
+    pub fn remove_dir(&mut self, dir: FileId) -> Option<DirUid> {
+        let uid = self.by_file.remove(&dir)?;
+        self.by_uid.remove(&uid);
+        Some(uid)
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.by_uid.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_uid.is_empty()
+    }
+
+    /// Approximate resident bytes (Table 1's Makedir overhead analysis).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.by_uid.len() * 2 * (8 + 8 + 16)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uid_is_stable_per_directory() {
+        let mut m = UidMap::new();
+        let a = m.uid_for(FileId(10));
+        let b = m.uid_for(FileId(11));
+        assert_ne!(a, b);
+        assert_eq!(m.uid_for(FileId(10)), a);
+        assert_eq!(m.dir_of(a), Some(FileId(10)));
+        assert_eq!(m.get_uid(FileId(11)), Some(b));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn removed_dirs_leave_dangling_uids() {
+        let mut m = UidMap::new();
+        let a = m.uid_for(FileId(10));
+        assert_eq!(m.remove_dir(FileId(10)), Some(a));
+        assert_eq!(m.dir_of(a), None);
+        assert_eq!(m.remove_dir(FileId(10)), None);
+        // A re-created directory with the same id gets a *new* uid only if
+        // ids were reused — our VFS never reuses them, but the map must not
+        // resurrect the old binding either way.
+        let b = m.uid_for(FileId(10));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the dependency graph: acyclicity is preserved under
+//! arbitrary edge streams, and every produced order is a valid topological
+//! order.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use hac_core::{DepGraph, EdgeKind};
+use hac_query::DirUid;
+
+#[derive(Debug, Clone)]
+enum GraphOp {
+    Add(u8, u8, bool),
+    ClearQueryRefs(u8),
+    RemoveNode(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = GraphOp> {
+    prop_oneof![
+        (0..12u8, 0..12u8, any::<bool>()).prop_map(|(a, b, h)| GraphOp::Add(a, b, h)),
+        (0..12u8).prop_map(GraphOp::ClearQueryRefs),
+        (0..12u8).prop_map(GraphOp::RemoveNode),
+    ]
+}
+
+/// Reference reachability: can `from` reach `to` via dependency edges?
+fn reaches(edges: &HashMap<u64, HashSet<u64>>, from: u64, to: u64) -> bool {
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(ds) = edges.get(&n) {
+            stack.extend(ds.iter().copied());
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_never_becomes_cyclic(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut g = DepGraph::new();
+        // Reference model of the accepted edges.
+        let mut model: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for op in ops {
+            match op {
+                GraphOp::Add(a, b, hierarchy) => {
+                    let kind = if hierarchy { EdgeKind::Hierarchy } else { EdgeKind::QueryRef };
+                    let accepted = g.add_edge(DirUid(a as u64), DirUid(b as u64), kind);
+                    let would_cycle =
+                        a == b || reaches(&model, b as u64, a as u64);
+                    prop_assert_eq!(
+                        accepted,
+                        !would_cycle,
+                        "add {}->{} accepted={} but model cycle={}",
+                        a,
+                        b,
+                        accepted,
+                        would_cycle
+                    );
+                    if accepted {
+                        model.entry(a as u64).or_default().insert(b as u64);
+                    }
+                }
+                GraphOp::ClearQueryRefs(_) | GraphOp::RemoveNode(_) => {
+                    // Removal can't introduce cycles; just keep the model in
+                    // sync coarsely by rebuilding from the graph's API.
+                    match op {
+                        GraphOp::ClearQueryRefs(n) => {
+                            g.clear_edges(DirUid(n as u64), EdgeKind::QueryRef)
+                        }
+                        GraphOp::RemoveNode(n) => g.remove_node(DirUid(n as u64)),
+                        GraphOp::Add(..) => unreachable!(),
+                    }
+                    model.clear();
+                    for a in 0..12u64 {
+                        for d in g.dependencies(DirUid(a)) {
+                            model.entry(a).or_default().insert(d.0);
+                        }
+                    }
+                }
+            }
+            // Invariant: no node can reach itself.
+            for n in 0..12u64 {
+                let self_cycle = model
+                    .get(&n)
+                    .map(|ds| ds.iter().any(|d| reaches(&model, *d, n)))
+                    .unwrap_or(false);
+                prop_assert!(!self_cycle, "node {n} reaches itself");
+            }
+        }
+    }
+
+    #[test]
+    fn update_order_is_topological(
+        edges in proptest::collection::vec((0..10u8, 0..10u8), 1..30),
+        root in 0..10u8,
+    ) {
+        let mut g = DepGraph::new();
+        let mut accepted: Vec<(u64, u64)> = Vec::new();
+        for (a, b) in edges {
+            if g.add_edge(DirUid(a as u64), DirUid(b as u64), EdgeKind::QueryRef) {
+                accepted.push((a as u64, b as u64));
+            }
+        }
+        let order = g.update_order([DirUid(root as u64)]);
+        // No duplicates.
+        let set: HashSet<DirUid> = order.iter().copied().collect();
+        prop_assert_eq!(set.len(), order.len());
+        // Every ordered pair respects dependencies: if x depends on y and
+        // both appear, y comes first.
+        let pos: HashMap<DirUid, usize> =
+            order.iter().enumerate().map(|(i, u)| (*u, i)).collect();
+        for (a, b) in &accepted {
+            if let (Some(pa), Some(pb)) = (pos.get(&DirUid(*a)), pos.get(&DirUid(*b))) {
+                prop_assert!(pb < pa, "dependency {b} must precede dependent {a}");
+            }
+        }
+        // Everything in the order transitively depends on the root.
+        for u in &order {
+            let mut model: HashMap<u64, HashSet<u64>> = HashMap::new();
+            for (a, b) in &accepted {
+                model.entry(*a).or_default().insert(*b);
+            }
+            prop_assert!(
+                reaches(&model, u.0, root as u64),
+                "{u:?} in update order but cannot reach the root"
+            );
+        }
+    }
+
+    #[test]
+    fn full_order_covers_requested_nodes(
+        edges in proptest::collection::vec((0..10u8, 0..10u8), 0..25),
+        nodes in proptest::collection::btree_set(0..10u8, 0..10),
+    ) {
+        let mut g = DepGraph::new();
+        let mut accepted: Vec<(u64, u64)> = Vec::new();
+        for (a, b) in edges {
+            if g.add_edge(DirUid(a as u64), DirUid(b as u64), EdgeKind::Hierarchy) {
+                accepted.push((a as u64, b as u64));
+            }
+        }
+        let wanted: Vec<DirUid> = nodes.iter().map(|n| DirUid(*n as u64)).collect();
+        let order = g.full_order(wanted.clone());
+        prop_assert_eq!(order.len(), wanted.len());
+        let set: HashSet<DirUid> = order.iter().copied().collect();
+        for w in &wanted {
+            prop_assert!(set.contains(w));
+        }
+        let pos: HashMap<DirUid, usize> =
+            order.iter().enumerate().map(|(i, u)| (*u, i)).collect();
+        for (a, b) in &accepted {
+            if let (Some(pa), Some(pb)) = (pos.get(&DirUid(*a)), pos.get(&DirUid(*b))) {
+                prop_assert!(pb < pa);
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Property tests for the §2.3 scope-consistency invariants.
+//!
+//! Random operation traces run against a `HacFs`; afterwards (and after a
+//! reconciling `ssync`) every semantic directory must satisfy:
+//!
+//! 1. transient links ⊆ the scope provided by the parent;
+//! 2. transient links = eval(query, parent scope) minus prohibited minus
+//!    permanent targets minus files physically inside the directory;
+//! 3. no transient link targets a prohibited target;
+//! 4. `ssync` is idempotent (a second pass changes nothing).
+
+use proptest::prelude::*;
+
+use hac_core::{HacFs, LinkKind, LinkTarget};
+use hac_vfs::{FileId, NodeKind, VPath};
+
+const VOCAB: &[&str] = &["alpha", "bravo", "carol", "delta", "echo"];
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create or overwrite /docs/f{slot} with the given vocab words.
+    Save(u8, Vec<u8>),
+    /// Delete /docs/f{slot}.
+    Delete(u8),
+    /// Rename /docs/f{slot} to /docs/r{slot}.
+    Rename(u8),
+    /// Create semantic dir /s{slot} with a single-term query.
+    Smkdir(u8, u8),
+    /// Create nested semantic dir /s{slot}/n with a single-term query.
+    SmkdirNested(u8, u8),
+    /// Change the query of /s{slot}.
+    SetQuery(u8, u8),
+    /// Remove one link (by index) from /s{slot} — prohibition.
+    RmLink(u8, u8),
+    /// Add a permanent link in /s{slot} to /docs/f{slot2}.
+    AddLink(u8, u8),
+    /// Reconcile.
+    Ssync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0..6u8,
+            proptest::collection::vec(0..VOCAB.len() as u8, 1..4)
+        )
+            .prop_map(|(s, w)| Op::Save(s, w)),
+        (0..6u8).prop_map(Op::Delete),
+        (0..6u8).prop_map(Op::Rename),
+        (0..2u8, 0..VOCAB.len() as u8).prop_map(|(s, q)| Op::Smkdir(s, q)),
+        (0..2u8, 0..VOCAB.len() as u8).prop_map(|(s, q)| Op::SmkdirNested(s, q)),
+        (0..2u8, 0..VOCAB.len() as u8).prop_map(|(s, q)| Op::SetQuery(s, q)),
+        (0..2u8, 0..8u8).prop_map(|(s, i)| Op::RmLink(s, i)),
+        (0..2u8, 0..6u8).prop_map(|(s, f)| Op::AddLink(s, f)),
+        Just(Op::Ssync),
+    ]
+}
+
+fn apply(fs: &HacFs, op: &Op) {
+    match op {
+        Op::Save(slot, words) => {
+            let text: Vec<&str> = words.iter().map(|w| VOCAB[*w as usize]).collect();
+            let _ = fs.save(&p(&format!("/docs/f{slot}")), text.join(" ").as_bytes());
+        }
+        Op::Delete(slot) => {
+            let _ = fs.unlink(&p(&format!("/docs/f{slot}")));
+        }
+        Op::Rename(slot) => {
+            let _ = fs.rename(&p(&format!("/docs/f{slot}")), &p(&format!("/docs/r{slot}")));
+        }
+        Op::Smkdir(slot, q) => {
+            let _ = fs.smkdir(&p(&format!("/s{slot}")), VOCAB[*q as usize]);
+        }
+        Op::SmkdirNested(slot, q) => {
+            let _ = fs.smkdir(&p(&format!("/s{slot}/n")), VOCAB[*q as usize]);
+        }
+        Op::SetQuery(slot, q) => {
+            let _ = fs.set_query(&p(&format!("/s{slot}")), VOCAB[*q as usize]);
+        }
+        Op::RmLink(slot, idx) => {
+            let dir = format!("/s{slot}");
+            if let Ok(links) = fs.list_links(&p(&dir)) {
+                if !links.is_empty() {
+                    let name = &links[*idx as usize % links.len()].name;
+                    let _ = fs.unlink(&p(&format!("{dir}/{name}")));
+                }
+            }
+        }
+        Op::AddLink(slot, f) => {
+            let _ = fs.symlink(
+                &p(&format!("/s{slot}/manual{f}")),
+                &p(&format!("/docs/f{f}")),
+            );
+        }
+        Op::Ssync => {
+            let _ = fs.ssync(&p("/"));
+        }
+    }
+}
+
+/// Checks the scope-consistency invariants for one semantic directory.
+fn check_semdir(fs: &HacFs, dir: &str) -> Result<(), TestCaseError> {
+    if !fs.is_semantic(&p(dir)) {
+        return Ok(());
+    }
+    let dir_path = p(dir);
+    let parent = dir_path.parent().unwrap();
+    let parent_scope = fs.scope_of(&parent).unwrap();
+    let links = fs.list_links(&dir_path).unwrap();
+    let prohibited = fs.list_prohibited(&dir_path).unwrap();
+
+    // Invariant 1: transient local links ⊆ parent scope.
+    for l in links.iter().filter(|l| l.kind == LinkKind::Transient) {
+        if let LinkTarget::Local(fid) = l.target {
+            prop_assert!(
+                parent_scope.local.contains(hac_index::DocId(fid.0)),
+                "{dir}: transient link {} escapes the parent scope",
+                l.name
+            );
+        }
+    }
+
+    // Invariant 3: no transient link targets a prohibited target.
+    for l in links.iter().filter(|l| l.kind == LinkKind::Transient) {
+        prop_assert!(
+            !prohibited.contains(&l.target),
+            "{dir}: transient link {} targets a prohibited target",
+            l.name
+        );
+    }
+
+    // Invariant 2: the transient set equals the query evaluation over the
+    // parent scope minus exclusions (recomputed via the public search API).
+    let query_text = fs.get_query(&dir_path).unwrap();
+    let eval: std::collections::BTreeSet<u64> = fs
+        .search(&parent, &query_text)
+        .unwrap()
+        .into_iter()
+        .filter_map(|path| fs.vfs().resolve(&path).ok())
+        .map(|id| id.0)
+        .collect();
+    let permanent: std::collections::BTreeSet<u64> = links
+        .iter()
+        .filter(|l| l.kind == LinkKind::Permanent)
+        .filter_map(|l| match l.target {
+            LinkTarget::Local(fid) => Some(fid.0),
+            LinkTarget::Remote(..) => None,
+        })
+        .collect();
+    let prohibited_local: std::collections::BTreeSet<u64> = prohibited
+        .iter()
+        .filter_map(|t| match t {
+            LinkTarget::Local(fid) => Some(fid.0),
+            LinkTarget::Remote(..) => None,
+        })
+        .collect();
+    let physical: std::collections::BTreeSet<u64> = fs
+        .readdir(&dir_path)
+        .unwrap()
+        .into_iter()
+        .filter(|e| e.kind == NodeKind::File)
+        .map(|e| e.id.0)
+        .collect();
+    let expected: std::collections::BTreeSet<u64> = eval
+        .difference(&permanent)
+        .copied()
+        .collect::<std::collections::BTreeSet<u64>>()
+        .difference(&prohibited_local)
+        .copied()
+        .collect::<std::collections::BTreeSet<u64>>()
+        .difference(&physical)
+        .copied()
+        .collect();
+    let actual: std::collections::BTreeSet<u64> = links
+        .iter()
+        .filter(|l| l.kind == LinkKind::Transient)
+        .filter_map(|l| match l.target {
+            LinkTarget::Local(fid) => Some(fid.0),
+            LinkTarget::Remote(..) => None,
+        })
+        .collect();
+    prop_assert_eq!(
+        &actual,
+        &expected,
+        "{}: transient set diverged (query {})",
+        dir,
+        query_text
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scope_invariants_hold_after_any_trace(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let fs = HacFs::new();
+        fs.mkdir(&p("/docs")).unwrap();
+        for op in &ops {
+            apply(&fs, op);
+        }
+        // Reconcile data consistency, then check scope invariants.
+        fs.ssync(&p("/")).unwrap();
+        for dir in ["/s0", "/s1", "/s0/n", "/s1/n"] {
+            check_semdir(&fs, dir)?;
+        }
+
+        // Invariant 4: a second ssync is a no-op on the namespace.
+        let listing_before: Vec<(String, Vec<String>)> = ["/s0", "/s1", "/s0/n", "/s1/n"]
+            .iter()
+            .filter(|d| fs.exists(&p(d)))
+            .map(|d| {
+                let mut entries: Vec<String> =
+                    fs.readdir(&p(d)).unwrap().into_iter().map(|e| e.name).collect();
+                entries.sort();
+                (d.to_string(), entries)
+            })
+            .collect();
+        let report = fs.ssync(&p("/")).unwrap();
+        prop_assert_eq!(report.added, 0);
+        prop_assert_eq!(report.updated, 0);
+        prop_assert_eq!(report.removed, 0);
+        for (d, before) in listing_before {
+            let mut after: Vec<String> =
+                fs.readdir(&p(&d)).unwrap().into_iter().map(|e| e.name).collect();
+            after.sort();
+            prop_assert_eq!(before, after, "ssync not idempotent for {}", d);
+        }
+    }
+
+    #[test]
+    fn engine_never_touches_user_sets(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        // Model: permanent additions and prohibitions made by the "user"
+        // operations; the engine must preserve them across syncs.
+        let fs = HacFs::new();
+        fs.mkdir(&p("/docs")).unwrap();
+        for op in &ops {
+            apply(&fs, op);
+        }
+        fs.ssync(&p("/")).unwrap();
+        // Snapshot user-owned state, run several syncs, compare.
+        let snapshot = |d: &str| -> Option<(Vec<String>, Vec<LinkTarget>)> {
+            if !fs.is_semantic(&p(d)) {
+                return None;
+            }
+            let perm: Vec<String> = fs
+                .list_links(&p(d))
+                .unwrap()
+                .into_iter()
+                .filter(|l| l.kind == LinkKind::Permanent)
+                .map(|l| l.name)
+                .collect();
+            Some((perm, fs.list_prohibited(&p(d)).unwrap()))
+        };
+        let before: Vec<_> = ["/s0", "/s1", "/s0/n"].iter().map(|d| snapshot(d)).collect();
+        fs.ssync(&p("/")).unwrap();
+        fs.reindex_full().unwrap();
+        let after: Vec<_> = ["/s0", "/s1", "/s0/n"].iter().map(|d| snapshot(d)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn file_ids_in_results_are_always_live(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let fs = HacFs::new();
+        fs.mkdir(&p("/docs")).unwrap();
+        for op in &ops {
+            apply(&fs, op);
+        }
+        fs.ssync(&p("/")).unwrap();
+        for d in ["/s0", "/s1", "/s0/n"] {
+            if !fs.is_semantic(&p(d)) {
+                continue;
+            }
+            for l in fs.list_links(&p(d)).unwrap() {
+                if let LinkTarget::Local(fid) = l.target {
+                    if l.kind == LinkKind::Transient {
+                        prop_assert!(
+                            fs.vfs().path_of(FileId(fid.0)).is_ok(),
+                            "{d}: transient link {} points at a dead file",
+                            l.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

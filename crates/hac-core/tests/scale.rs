@@ -1,0 +1,133 @@
+//! A moderate-scale end-to-end stress: thousands of files, dozens of
+//! semantic directories (including reference chains), repeated sync —
+//! asserting global consistency properties rather than any single
+//! behaviour.
+
+use hac_core::{HacFs, LinkKind, LinkTarget};
+use hac_corpus::{generate_docs, DocCollectionSpec, Vocabulary};
+use hac_vfs::{FileId, VPath};
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+#[test]
+fn hundreds_of_files_dozen_semantic_dirs() {
+    let fs = HacFs::new();
+    let spec = DocCollectionSpec {
+        files: 400,
+        mean_words: 30,
+        vocab: 2000,
+        ..Default::default()
+    };
+    generate_docs(fs.vfs(), &p("/db"), &spec).unwrap();
+    let report = fs.ssync(&p("/")).unwrap();
+    assert_eq!(report.added, 400);
+
+    // A dozen semantic directories over terms of decreasing frequency, plus
+    // a reference chain across them.
+    let vocab = Vocabulary::new(spec.vocab, 1.0);
+    for i in 0..12 {
+        let term = vocab.word_at_rank(i * 37 + 1).to_string();
+        fs.smkdir(&p(&format!("/q{i:02}")), &term).unwrap();
+    }
+    fs.smkdir(
+        &p("/chain0"),
+        &format!("{} AND path(/q00)", vocab.word_at_rank(2)),
+    )
+    .unwrap();
+    fs.smkdir(&p("/chain1"), "path(/chain0) OR path(/q05)")
+        .unwrap();
+
+    // Global invariants:
+    // every semantic directory's transient links point at live, indexed
+    // files, and no directory contains a prohibited target.
+    let mut total_links = 0usize;
+    for i in 0..12 {
+        let dir = format!("/q{i:02}");
+        let links = fs.list_links(&p(&dir)).unwrap();
+        let prohibited = fs.list_prohibited(&p(&dir)).unwrap();
+        for l in &links {
+            if let LinkTarget::Local(fid) = l.target {
+                assert!(fs.vfs().path_of(FileId(fid.0)).is_ok(), "{dir}/{}", l.name);
+                assert!(fs.is_indexed(&fs.vfs().path_of(FileId(fid.0)).unwrap()));
+            }
+            assert!(!prohibited.contains(&l.target));
+        }
+        total_links += links.len();
+    }
+    assert!(
+        total_links > 40,
+        "the corpus should produce substantial results: {total_links}"
+    );
+
+    // Chain results respect the reference semantics.
+    let chain0: Vec<String> = fs
+        .readdir(&p("/chain0"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    let q00: Vec<String> = fs
+        .readdir(&p("/q00"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for name in &chain0 {
+        assert!(q00.contains(name), "chain0 must refine q00: {name}");
+    }
+
+    // Bulk curation: prohibit half of q00's links; they stay gone across a
+    // full rebuild, and the chain follows.
+    let to_remove: Vec<String> = q00.iter().take(5).cloned().collect();
+    for name in &to_remove {
+        fs.unlink(&p(&format!("/q00/{name}"))).unwrap();
+    }
+    fs.reindex_full().unwrap();
+    let q00_after: Vec<String> = fs
+        .readdir(&p("/q00"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for name in &to_remove {
+        assert!(!q00_after.contains(name));
+    }
+    let chain0_after: Vec<String> = fs
+        .readdir(&p("/chain0"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for name in &chain0_after {
+        assert!(q00_after.contains(name));
+    }
+
+    // ssync is still idempotent at scale.
+    let again = fs.ssync(&p("/")).unwrap();
+    assert_eq!((again.added, again.updated, again.removed), (0, 0, 0));
+
+    // Promote everything in one directory to permanent; a hostile query
+    // change cannot remove any of it.
+    let keep: Vec<String> = fs
+        .readdir(&p("/q01"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for name in &keep {
+        fs.make_permanent(&p(&format!("/q01/{name}"))).unwrap();
+    }
+    fs.set_query(&p("/q01"), "zzzznonexistent").unwrap();
+    let still: Vec<String> = fs
+        .readdir(&p("/q01"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(still, keep);
+    for l in fs.list_links(&p("/q01")).unwrap() {
+        assert_eq!(l.kind, LinkKind::Permanent);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hac-corpus — synthetic corpora and workloads
+//!
+//! Deterministic generators for every input the paper's evaluation needs
+//! but that cannot ship with a reproduction:
+//!
+//! * [`docs`] — Zipf text collections (the 17 000-file / 150 MB database of
+//!   Tables 3–4, at any scale);
+//! * [`mail`] — RFC-822-ish mailboxes for the running example and the mail
+//!   transducer;
+//! * [`source_tree`] — C-like source trees (the Andrew Benchmark input of
+//!   Tables 1–2);
+//! * [`trace`] — replayable random operation traces for stress tests;
+//! * [`words`] — the seeded Zipf vocabulary sampler underneath them all.
+//!
+//! Everything is a pure function of its spec (including the seed), so
+//! benchmark runs are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod docs;
+pub mod mail;
+pub mod source_tree;
+pub mod trace;
+pub mod words;
+
+pub use docs::{
+    generate_docs, term_for_selectivity, DocCollection, DocCollectionSpec, Selectivity,
+};
+pub use mail::{generate_mailbox, MailMeta, MailboxSpec};
+pub use source_tree::{generate_source_tree, SourceTree, SourceTreeSpec};
+pub use trace::{generate_trace, TraceOp, TraceSpec};
+pub use words::Vocabulary;

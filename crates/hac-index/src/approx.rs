@@ -1,0 +1,142 @@
+//! Approximate term matching.
+//!
+//! Glimpse's signature feature is agrep-style approximate search. We
+//! implement bounded Levenshtein distance with the classic banded dynamic
+//! program: for `k` allowed errors only a `2k+1`-wide diagonal band of the
+//! DP matrix is computed, so matching is `O(k·|word|)` per candidate.
+
+/// Maximum number of errors accepted by [`within_distance`]. Larger values
+/// degenerate into matching everything.
+pub const MAX_ERRORS: u8 = 4;
+
+/// Returns whether `candidate` is within Levenshtein distance `k` of
+/// `pattern`. Both inputs are expected case-folded.
+pub fn within_distance(pattern: &str, candidate: &str, k: u8) -> bool {
+    let k = k.min(MAX_ERRORS) as usize;
+    let p: Vec<u8> = pattern.bytes().collect();
+    let c: Vec<u8> = candidate.bytes().collect();
+    if p.len().abs_diff(c.len()) > k {
+        return false;
+    }
+    if k == 0 {
+        return p == c;
+    }
+    // Banded DP over rows of the candidate. `row[j]` = distance between
+    // c[..i] and p[..j]; cells outside the band are treated as > k.
+    const INF: usize = usize::MAX / 2;
+    let m = p.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    for (i, &cb) in c.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(k);
+        let hi = (i + 1 + k).min(m);
+        let mut row = vec![INF; m + 1];
+        if lo == 0 {
+            row[0] = i + 1;
+        }
+        for j in lo.max(1)..=hi {
+            let sub = prev[j - 1] + usize::from(p[j - 1] != cb);
+            let del = prev[j].saturating_add(1);
+            let ins = row[j - 1].saturating_add(1);
+            row[j] = sub.min(del).min(ins);
+        }
+        if row.iter().all(|&v| v > k) {
+            return false;
+        }
+        prev = row;
+    }
+    prev[m] <= k
+}
+
+/// Filters an iterator of lexicon keys down to those within distance `k` of
+/// `pattern`. Field keys (containing the `\u{1f}` separator) never match.
+pub fn expand<'a>(
+    pattern: &'a str,
+    k: u8,
+    candidates: impl Iterator<Item = &'a str> + 'a,
+) -> impl Iterator<Item = &'a str> + 'a {
+    candidates.filter(move |c| !c.contains('\u{1f}') && within_distance(pattern, c, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_at_zero_errors() {
+        assert!(within_distance("kernel", "kernel", 0));
+        assert!(!within_distance("kernel", "kernal", 0));
+    }
+
+    #[test]
+    fn single_errors() {
+        // Substitution, insertion, deletion.
+        assert!(within_distance("kernel", "kernal", 1));
+        assert!(within_distance("kernel", "kernels", 1));
+        assert!(within_distance("kernel", "kernl", 1));
+        assert!(!within_distance("kernel", "colonel", 1));
+    }
+
+    #[test]
+    fn distance_two() {
+        assert!(within_distance("fingerprint", "fingreprint", 2)); // transposition = 2 edits
+        assert!(within_distance("glimpse", "glmpse", 2));
+        assert!(!within_distance("glimpse", "grep", 2));
+    }
+
+    #[test]
+    fn length_gap_short_circuits() {
+        assert!(!within_distance("ab", "abcdefgh", 2));
+        assert!(!within_distance("abcdefgh", "ab", 2));
+    }
+
+    #[test]
+    fn empty_patterns() {
+        assert!(within_distance("", "", 0));
+        assert!(within_distance("", "ab", 2));
+        assert!(!within_distance("", "abc", 2));
+    }
+
+    #[test]
+    fn expand_filters_lexicon() {
+        let lex = ["kernel", "kernal", "colonel", "shell", "from\u{1f}kernel"];
+        let hits: Vec<&str> = expand("kernel", 1, lex.iter().copied()).collect();
+        assert_eq!(hits, vec!["kernel", "kernal"]);
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        // k beyond MAX_ERRORS behaves like MAX_ERRORS, not "match all".
+        assert!(!within_distance("a1", "completely-different", 200));
+    }
+
+    #[test]
+    fn agrees_with_reference_levenshtein() {
+        fn reference(a: &str, b: &str) -> usize {
+            let a: Vec<u8> = a.bytes().collect();
+            let b: Vec<u8> = b.bytes().collect();
+            let mut prev: Vec<usize> = (0..=b.len()).collect();
+            for i in 1..=a.len() {
+                let mut row = vec![i];
+                for j in 1..=b.len() {
+                    let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+                    row.push(sub.min(prev[j] + 1).min(row[j - 1] + 1));
+                }
+                prev = row;
+            }
+            prev[b.len()]
+        }
+        let words = ["search", "sea", "searches", "serach", "smirch", "peach", ""];
+        for a in words {
+            for b in words {
+                let d = reference(a, b);
+                for k in 0..=3u8 {
+                    assert_eq!(
+                        within_distance(a, b, k),
+                        d <= k as usize,
+                        "a={a} b={b} k={k} d={d}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Content query expressions.
+//!
+//! `ContentExpr` is the boolean query language the CBA engine evaluates —
+//! the role Glimpse's search expressions play in the paper. The full HAC
+//! query language (`hac-query`) additionally has directory references; it
+//! lowers its content parts into this type.
+
+use serde::{Deserialize, Serialize};
+
+/// A boolean query over indexed content.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContentExpr {
+    /// Matches documents containing the word.
+    Term(String),
+    /// Matches documents carrying the attribute `name`=`value` (emitted by a
+    /// transducer).
+    Field(String, String),
+    /// Matches documents containing the words consecutively.
+    Phrase(Vec<String>),
+    /// Matches documents containing any word within the given edit distance
+    /// of the pattern (Glimpse's approximate matching).
+    Approx(String, u8),
+    /// Matches documents containing any word with this prefix (`finger*`),
+    /// a practical subset of Glimpse's regular-expression patterns.
+    Prefix(String),
+    /// Conjunction.
+    And(Box<ContentExpr>, Box<ContentExpr>),
+    /// Disjunction.
+    Or(Box<ContentExpr>, Box<ContentExpr>),
+    /// `lhs AND NOT rhs`.
+    AndNot(Box<ContentExpr>, Box<ContentExpr>),
+    /// Complement within the evaluation universe.
+    Not(Box<ContentExpr>),
+    /// Matches every document in the universe.
+    All,
+    /// Matches nothing.
+    Nothing,
+}
+
+impl ContentExpr {
+    /// `a AND b` without manual boxing.
+    pub fn and(a: ContentExpr, b: ContentExpr) -> ContentExpr {
+        ContentExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a OR b` without manual boxing.
+    pub fn or(a: ContentExpr, b: ContentExpr) -> ContentExpr {
+        ContentExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a AND NOT b` without manual boxing.
+    pub fn and_not(a: ContentExpr, b: ContentExpr) -> ContentExpr {
+        ContentExpr::AndNot(Box::new(a), Box::new(b))
+    }
+
+    /// `NOT a` without manual boxing.
+    pub fn not(a: ContentExpr) -> ContentExpr {
+        ContentExpr::Not(Box::new(a))
+    }
+
+    /// A case-folded term.
+    pub fn term(w: &str) -> ContentExpr {
+        ContentExpr::Term(w.to_ascii_lowercase())
+    }
+
+    /// A case-folded field match.
+    pub fn field(name: &str, value: &str) -> ContentExpr {
+        ContentExpr::Field(name.to_ascii_lowercase(), value.to_ascii_lowercase())
+    }
+
+    /// Collects every plain term mentioned anywhere in the expression.
+    pub fn terms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ContentExpr::Term(t) = e {
+                out.push(t.as_str());
+            }
+        });
+        out
+    }
+
+    /// Depth of the expression tree (diagnostics, fuzz shrink metric).
+    pub fn depth(&self) -> usize {
+        match self {
+            ContentExpr::And(a, b) | ContentExpr::Or(a, b) | ContentExpr::AndNot(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+            ContentExpr::Not(a) => 1 + a.depth(),
+            _ => 1,
+        }
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a ContentExpr)) {
+        f(self);
+        match self {
+            ContentExpr::And(a, b) | ContentExpr::Or(a, b) | ContentExpr::AndNot(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            ContentExpr::Not(a) => a.walk(f),
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Display for ContentExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContentExpr::Term(t) => write!(f, "{t}"),
+            ContentExpr::Field(n, v) => write!(f, "{n}:{v}"),
+            ContentExpr::Phrase(ws) => write!(f, "\"{}\"", ws.join(" ")),
+            ContentExpr::Approx(t, k) => write!(f, "~{k}:{t}"),
+            ContentExpr::Prefix(t) => write!(f, "{t}*"),
+            ContentExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            ContentExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            ContentExpr::AndNot(a, b) => write!(f, "({a} AND NOT {b})"),
+            ContentExpr::Not(a) => write!(f, "(NOT {a})"),
+            ContentExpr::All => write!(f, "*"),
+            ContentExpr::Nothing => write!(f, "∅"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fold_case() {
+        assert_eq!(
+            ContentExpr::term("FiNgEr"),
+            ContentExpr::Term("finger".into())
+        );
+        assert_eq!(
+            ContentExpr::field("From", "Alice"),
+            ContentExpr::Field("from".into(), "alice".into())
+        );
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let e = ContentExpr::and_not(
+            ContentExpr::term("fingerprint"),
+            ContentExpr::term("murder"),
+        );
+        assert_eq!(e.to_string(), "(fingerprint AND NOT murder)");
+    }
+
+    #[test]
+    fn terms_collects_all_leaves() {
+        let e = ContentExpr::or(
+            ContentExpr::and(ContentExpr::term("a1"), ContentExpr::term("b2")),
+            ContentExpr::not(ContentExpr::term("c3")),
+        );
+        assert_eq!(e.terms(), vec!["a1", "b2", "c3"]);
+        assert_eq!(e.depth(), 3);
+    }
+}

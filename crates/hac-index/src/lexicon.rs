@@ -1,0 +1,101 @@
+//! Term dictionary.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a term in the lexicon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+/// Bidirectional term ↔ id dictionary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lexicon {
+    by_key: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `key`, interning it if new.
+    pub fn intern(&mut self, key: &str) -> TermId {
+        if let Some(id) = self.by_key.get(key) {
+            return *id;
+        }
+        let id = TermId(self.by_id.len() as u32);
+        self.by_id.push(key.to_string());
+        self.by_key.insert(key.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing term without interning.
+    pub fn get(&self, key: &str) -> Option<TermId> {
+        self.by_key.get(key).copied()
+    }
+
+    /// The key of a term id.
+    pub fn key_of(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (TermId(i as u32), k.as_str()))
+    }
+
+    /// Approximate resident bytes (for the Table 3 space accounting).
+    pub fn bytes(&self) -> u64 {
+        self.by_id.iter().map(|k| 2 * k.len() as u64 + 16).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut lex = Lexicon::new();
+        let a = lex.intern("alpha");
+        let b = lex.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(lex.intern("alpha"), a);
+        assert_eq!(lex.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut lex = Lexicon::new();
+        let id = lex.intern("gamma");
+        assert_eq!(lex.get("gamma"), Some(id));
+        assert_eq!(lex.get("nope"), None);
+        assert_eq!(lex.key_of(id), Some("gamma"));
+        assert_eq!(lex.key_of(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut lex = Lexicon::new();
+        lex.intern("one");
+        lex.intern("two");
+        let keys: Vec<&str> = lex.iter().map(|(_, k)| k).collect();
+        assert_eq!(keys, vec!["one", "two"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Attribute transducers.
+//!
+//! The MIT Semantic File System (which the paper builds on conceptually)
+//! extracts typed attribute/value pairs from files with *transducers*. HAC
+//! inherits the idea for its indexing pass: a transducer turns a file's
+//! bytes into the token stream the index stores. The registry picks a
+//! transducer per file by name/extension, defaulting to plain text.
+
+use crate::token::{tokenize_text, Token};
+
+/// Converts file content into indexable tokens.
+pub trait Transducer: Send + Sync {
+    /// A short identifier for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Whether this transducer wants files with the given name.
+    fn matches(&self, file_name: &str) -> bool;
+
+    /// Extracts tokens from content.
+    fn extract(&self, file_name: &str, content: &[u8]) -> Vec<Token>;
+}
+
+/// Plain text: every word, no fields. The fallback for unknown types.
+#[derive(Debug, Default)]
+pub struct PlainText;
+
+impl Transducer for PlainText {
+    fn name(&self) -> &'static str {
+        "text"
+    }
+
+    fn matches(&self, _file_name: &str) -> bool {
+        true
+    }
+
+    fn extract(&self, _file_name: &str, content: &[u8]) -> Vec<Token> {
+        tokenize_text(content)
+    }
+}
+
+/// RFC-822-ish mail: header lines become field tokens (`from:`, `to:`,
+/// `subject:`, `date:`), the body is tokenized as text. Subject words are
+/// additionally indexed as plain words — that is how the paper's email
+/// examples ("email messages from a certain user or about a certain topic")
+/// become queryable both ways.
+#[derive(Debug, Default)]
+pub struct MailTransducer;
+
+/// Header names [`MailTransducer`] turns into fields.
+pub const MAIL_HEADERS: &[&str] = &["from", "to", "cc", "subject", "date"];
+
+impl Transducer for MailTransducer {
+    fn name(&self) -> &'static str {
+        "mail"
+    }
+
+    fn matches(&self, file_name: &str) -> bool {
+        file_name.ends_with(".eml") || file_name.ends_with(".mail")
+    }
+
+    fn extract(&self, _file_name: &str, content: &[u8]) -> Vec<Token> {
+        let text = String::from_utf8_lossy(content);
+        let mut tokens = Vec::new();
+        let mut body_start = 0;
+        for (offset, line) in split_lines(&text) {
+            if line.is_empty() {
+                body_start = offset + 1;
+                break;
+            }
+            body_start = offset + line.len() + 1;
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                if MAIL_HEADERS.contains(&name.as_str()) {
+                    let value = value.trim();
+                    // Address-ish headers index each word of the value as a
+                    // separate field token so `from:alice` matches
+                    // "Alice Liddell <alice@example.org>".
+                    for word in tokenize_text(value.as_bytes()) {
+                        if let Token::Word(w) = word {
+                            tokens.push(Token::field(&name, &w));
+                        }
+                    }
+                    if name == "subject" {
+                        tokens.extend(tokenize_text(value.as_bytes()));
+                    }
+                }
+            }
+        }
+        let body = &text[body_start.min(text.len())..];
+        tokens.extend(tokenize_text(body.as_bytes()));
+        tokens
+    }
+}
+
+fn split_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut offset = 0;
+    text.split('\n').map(move |line| {
+        let start = offset;
+        offset += line.len() + 1;
+        (start, line.trim_end_matches('\r'))
+    })
+}
+
+/// C-like source: `#include` targets and defined function names become
+/// fields; everything is also indexed as words (identifiers matter).
+#[derive(Debug, Default)]
+pub struct CSourceTransducer;
+
+impl Transducer for CSourceTransducer {
+    fn name(&self) -> &'static str {
+        "csource"
+    }
+
+    fn matches(&self, file_name: &str) -> bool {
+        file_name.ends_with(".c") || file_name.ends_with(".h")
+    }
+
+    fn extract(&self, _file_name: &str, content: &[u8]) -> Vec<Token> {
+        let text = String::from_utf8_lossy(content);
+        let mut tokens = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("#include") {
+                let target: String = rest
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+                    .collect();
+                if !target.is_empty() {
+                    tokens.push(Token::field("include", &target));
+                }
+            }
+            // A crude function-definition heuristic: `name(` at the start of
+            // a line that is not a control keyword.
+            if let Some(paren) = trimmed.find('(') {
+                let head = &trimmed[..paren];
+                if let Some(ident) = head.split_whitespace().last() {
+                    let ident: String = ident
+                        .chars()
+                        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !ident.is_empty()
+                        && !["if", "while", "for", "switch", "return", "sizeof"]
+                            .contains(&ident.as_str())
+                        && trimmed.ends_with('{')
+                    {
+                        tokens.push(Token::field("func", &ident));
+                    }
+                }
+            }
+        }
+        tokens.extend(tokenize_text(content));
+        tokens
+    }
+}
+
+/// Picks the first matching transducer for each file.
+pub struct TransducerRegistry {
+    transducers: Vec<Box<dyn Transducer>>,
+    fallback: PlainText,
+}
+
+impl Default for TransducerRegistry {
+    fn default() -> Self {
+        TransducerRegistry {
+            transducers: vec![Box::new(MailTransducer), Box::new(CSourceTransducer)],
+            fallback: PlainText,
+        }
+    }
+}
+
+impl TransducerRegistry {
+    /// The default registry: mail + C source + plain-text fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry (plain text only).
+    pub fn plain_only() -> Self {
+        TransducerRegistry {
+            transducers: Vec::new(),
+            fallback: PlainText,
+        }
+    }
+
+    /// Registers a user-defined transducer ahead of the built-ins — the
+    /// paper's SFS lineage "allows users to define their own transducers".
+    pub fn register(&mut self, t: Box<dyn Transducer>) {
+        self.transducers.insert(0, t);
+    }
+
+    /// Extracts tokens for a file, choosing a transducer by name.
+    pub fn extract(&self, file_name: &str, content: &[u8]) -> Vec<Token> {
+        for t in &self.transducers {
+            if t.matches(file_name) {
+                return t.extract(file_name, content);
+            }
+        }
+        self.fallback.extract(file_name, content)
+    }
+
+    /// The transducer name that would handle `file_name` (diagnostics).
+    pub fn route(&self, file_name: &str) -> &'static str {
+        for t in &self.transducers {
+            if t.matches(file_name) {
+                return t.name();
+            }
+        }
+        self.fallback.name()
+    }
+}
+
+impl std::fmt::Debug for TransducerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.transducers.iter().map(|t| t.name()).collect();
+        f.debug_struct("TransducerRegistry")
+            .field("transducers", &names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAIL: &[u8] = b"From: Alice Liddell <alice@example.org>\n\
+To: bob@example.org\n\
+Subject: Fingerprint project status\n\
+Date: 1999-02-03\n\
+\n\
+The minutiae extraction pipeline is done.\n";
+
+    #[test]
+    fn mail_headers_become_fields() {
+        let tokens = MailTransducer.extract("m.eml", MAIL);
+        assert!(tokens.contains(&Token::field("from", "alice")));
+        assert!(tokens.contains(&Token::field("to", "bob")));
+        assert!(tokens.contains(&Token::field("subject", "fingerprint")));
+        // Subject words are also plain words.
+        assert!(tokens.contains(&Token::word("fingerprint")));
+        // Body words are indexed.
+        assert!(tokens.contains(&Token::word("minutiae")));
+        // Header words other than subject do NOT leak into plain words.
+        assert!(!tokens.contains(&Token::word("liddell")));
+    }
+
+    #[test]
+    fn mail_without_body_separator_is_all_headers() {
+        let tokens = MailTransducer.extract("m.eml", b"From: carol@x.org\nSubject: hi there");
+        assert!(tokens.contains(&Token::field("from", "carol")));
+        assert!(tokens.contains(&Token::field("subject", "hi")));
+    }
+
+    #[test]
+    fn csource_extracts_includes_and_functions() {
+        let src = b"#include <stdio.h>\n#include \"match.h\"\n\nint match_minutiae(int a) {\n  return a;\n}\n";
+        let tokens = CSourceTransducer.extract("match.c", src);
+        assert!(tokens.contains(&Token::field("include", "stdio.h")));
+        assert!(tokens.contains(&Token::field("include", "match.h")));
+        assert!(tokens.contains(&Token::field("func", "match_minutiae")));
+        assert!(tokens.contains(&Token::word("match_minutiae")));
+        // Control keywords are not functions.
+        assert!(!tokens.contains(&Token::field("func", "return")));
+    }
+
+    #[test]
+    fn registry_routes_by_extension() {
+        let reg = TransducerRegistry::new();
+        assert_eq!(reg.route("a.eml"), "mail");
+        assert_eq!(reg.route("a.c"), "csource");
+        assert_eq!(reg.route("a.txt"), "text");
+        assert_eq!(reg.route("README"), "text");
+    }
+
+    #[test]
+    fn custom_transducer_takes_precedence() {
+        struct Custom;
+        impl Transducer for Custom {
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+            fn matches(&self, f: &str) -> bool {
+                f.ends_with(".eml")
+            }
+            fn extract(&self, _f: &str, _c: &[u8]) -> Vec<Token> {
+                vec![Token::word("custom")]
+            }
+        }
+        let mut reg = TransducerRegistry::new();
+        reg.register(Box::new(Custom));
+        assert_eq!(reg.route("a.eml"), "custom");
+        assert_eq!(reg.extract("a.eml", MAIL), vec![Token::word("custom")]);
+    }
+}

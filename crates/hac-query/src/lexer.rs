@@ -1,0 +1,323 @@
+//! Query lexer.
+
+use std::fmt;
+
+use hac_vfs::VPath;
+
+/// Lexical errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A quoted phrase was never closed.
+    UnterminatedPhrase,
+    /// `path(` without a closing `)`.
+    UnterminatedPathRef,
+    /// A `path(...)` or `/...` reference held an invalid path.
+    BadPath(String),
+    /// `~` not followed by a word.
+    BadApprox,
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedPhrase => write!(f, "unterminated quoted phrase"),
+            LexError::UnterminatedPathRef => write!(f, "unterminated path(...) reference"),
+            LexError::BadPath(p) => write!(f, "invalid path in query: {p:?}"),
+            LexError::BadApprox => write!(f, "'~' must be followed by a word (e.g. ~2:term)"),
+            LexError::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A bare word (possibly an operator keyword — the parser decides).
+    Word(String),
+    /// `name:value`.
+    Field(String, String),
+    /// `"some words"`.
+    Phrase(Vec<String>),
+    /// `~word` or `~k:word`.
+    Approx(String, u8),
+    /// `word*`.
+    Prefix(String),
+    /// `path(/a/b)` or a bare `/a/b`.
+    PathRef(VPath),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `*`.
+    Star,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '@'
+}
+
+fn read_word(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut w = String::new();
+    while let Some(&c) = chars.peek() {
+        if is_word_char(c) {
+            w.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    w
+}
+
+/// Tokenizes a query string.
+pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                }
+                out.push(Tok::Word("and".into()));
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                }
+                out.push(Tok::Word("or".into()));
+            }
+            '!' => {
+                chars.next();
+                out.push(Tok::Word("not".into()));
+            }
+            '"' => {
+                chars.next();
+                let mut phrase = String::new();
+                let mut closed = false;
+                for pc in chars.by_ref() {
+                    if pc == '"' {
+                        closed = true;
+                        break;
+                    }
+                    phrase.push(pc);
+                }
+                if !closed {
+                    return Err(LexError::UnterminatedPhrase);
+                }
+                let words: Vec<String> = phrase
+                    .split_whitespace()
+                    .map(|w| {
+                        w.chars()
+                            .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+                            .collect::<String>()
+                            .to_ascii_lowercase()
+                    })
+                    .filter(|w| !w.is_empty())
+                    .collect();
+                out.push(Tok::Phrase(words));
+            }
+            '~' => {
+                chars.next();
+                // Optional error count: ~2:word. Default 1.
+                let mut k = 1u8;
+                let mut first = read_word(&mut chars);
+                if chars.peek() == Some(&':') {
+                    if let Ok(parsed) = first.parse::<u8>() {
+                        k = parsed;
+                        chars.next(); // consume ':'
+                        first = read_word(&mut chars);
+                    }
+                }
+                if first.is_empty() {
+                    return Err(LexError::BadApprox);
+                }
+                out.push(Tok::Approx(first.to_ascii_lowercase(), k));
+            }
+            '/' => {
+                // A bare path reference: consume path-ish characters.
+                let mut raw = String::new();
+                while let Some(&pc) = chars.peek() {
+                    if is_word_char(pc) || pc == '/' {
+                        raw.push(pc);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let path = VPath::parse(&raw).map_err(|_| LexError::BadPath(raw.clone()))?;
+                out.push(Tok::PathRef(path));
+            }
+            c if is_word_char(c) => {
+                let word = read_word(&mut chars);
+                if chars.peek() == Some(&':') {
+                    chars.next();
+                    if word.eq_ignore_ascii_case("path") && chars.peek() == Some(&'/') {
+                        // Tolerate "path:/a/b" as an alternative spelling.
+                        let mut raw = String::new();
+                        while let Some(&pc) = chars.peek() {
+                            if is_word_char(pc) || pc == '/' {
+                                raw.push(pc);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        let path =
+                            VPath::parse(&raw).map_err(|_| LexError::BadPath(raw.clone()))?;
+                        out.push(Tok::PathRef(path));
+                    } else {
+                        let value = read_word(&mut chars);
+                        out.push(Tok::Field(
+                            word.to_ascii_lowercase(),
+                            value.to_ascii_lowercase(),
+                        ));
+                    }
+                } else if word.eq_ignore_ascii_case("path") && chars.peek() == Some(&'(') {
+                    chars.next();
+                    let mut raw = String::new();
+                    let mut closed = false;
+                    for pc in chars.by_ref() {
+                        if pc == ')' {
+                            closed = true;
+                            break;
+                        }
+                        raw.push(pc);
+                    }
+                    if !closed {
+                        return Err(LexError::UnterminatedPathRef);
+                    }
+                    let raw = raw.trim().to_string();
+                    let path = VPath::parse(&raw).map_err(|_| LexError::BadPath(raw.clone()))?;
+                    out.push(Tok::PathRef(path));
+                } else if chars.peek() == Some(&'*') {
+                    chars.next();
+                    out.push(Tok::Prefix(word.to_ascii_lowercase()));
+                } else {
+                    out.push(Tok::Word(word.to_ascii_lowercase()));
+                }
+            }
+            other => return Err(LexError::UnexpectedChar(other)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn words_fold_case() {
+        assert_eq!(
+            lex("Fingerprint AND Email").unwrap(),
+            vec![
+                Tok::Word("fingerprint".into()),
+                Tok::Word("and".into()),
+                Tok::Word("email".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_symbols() {
+        assert_eq!(
+            lex("a && b || !c").unwrap(),
+            vec![
+                Tok::Word("a".into()),
+                Tok::Word("and".into()),
+                Tok::Word("b".into()),
+                Tok::Word("or".into()),
+                Tok::Word("not".into()),
+                Tok::Word("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn phrases_normalize_words() {
+        assert_eq!(
+            lex("\"Minutiae Extraction, v2\"").unwrap(),
+            vec![Tok::Phrase(vec![
+                "minutiae".into(),
+                "extraction".into(),
+                "v2".into()
+            ])]
+        );
+        assert_eq!(lex("\"unterminated"), Err(LexError::UnterminatedPhrase));
+    }
+
+    #[test]
+    fn fields_split_on_colon() {
+        assert_eq!(
+            lex("From:Alice subject:status").unwrap(),
+            vec![
+                Tok::Field("from".into(), "alice".into()),
+                Tok::Field("subject".into(), "status".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn path_refs_three_spellings() {
+        for q in ["path(/mail/inbox)", "path:/mail/inbox", "/mail/inbox"] {
+            assert_eq!(
+                lex(q).unwrap(),
+                vec![Tok::PathRef(p("/mail/inbox"))],
+                "spelling {q}"
+            );
+        }
+        assert_eq!(lex("path(/a"), Err(LexError::UnterminatedPathRef));
+    }
+
+    #[test]
+    fn approx_with_and_without_count() {
+        assert_eq!(
+            lex("~kernel").unwrap(),
+            vec![Tok::Approx("kernel".into(), 1)]
+        );
+        assert_eq!(
+            lex("~2:kernel").unwrap(),
+            vec![Tok::Approx("kernel".into(), 2)]
+        );
+        assert_eq!(lex("~ "), Err(LexError::BadApprox));
+    }
+
+    #[test]
+    fn parens_and_star() {
+        assert_eq!(
+            lex("(a) *").unwrap(),
+            vec![Tok::LParen, Tok::Word("a".into()), Tok::RParen, Tok::Star]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_is_reported() {
+        assert_eq!(lex("a % b"), Err(LexError::UnexpectedChar('%')));
+    }
+}

@@ -1,0 +1,24 @@
+//! # hac-query — the HAC query language
+//!
+//! Queries in HAC are boolean expressions over content predicates (words,
+//! phrases, transducer fields, approximate matches) *and directory
+//! references* — §2.5 of the OSDI '99 paper lets users name an existing
+//! (semantic or syntactic) directory inside a query, pulling in its
+//! current, possibly hand-edited result set.
+//!
+//! This crate owns the textual form: [`lexer`], [`parser`], and the
+//! [`ast`]. Path references are parsed as paths and then *bound* to stable
+//! directory UIDs ([`Query::bind_paths`]) before storage, reproducing the
+//! paper's rename-stable global identifier map. Evaluation lives in
+//! `hac-core`, which has access to both the index and directory scopes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{DirRef, DirUid, Query, QueryExpr};
+pub use lexer::LexError;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,293 @@
+//! Recursive-descent query parser.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! query   := or
+//! or      := and ( OR and )*
+//! and     := unary ( [AND [NOT] | AND-less juxtaposition] unary )*
+//! unary   := NOT unary | primary
+//! primary := '(' query ')' | phrase | ~approx | field | pathref | word | '*'
+//! ```
+//!
+//! Juxtaposition is conjunction (`fingerprint email` ≡ `fingerprint AND
+//! email`), matching Glimpse's habit. `AND NOT` parses into the dedicated
+//! [`QueryExpr::AndNot`] node the paper's running example uses
+//! ("fingerprint AND NOT murder").
+
+use std::fmt;
+
+use crate::ast::{DirRef, Query, QueryExpr};
+use crate::lexer::{lex, LexError, Tok};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// The query contained no expression.
+    Empty,
+    /// `)` without matching `(`, or missing `)`.
+    UnbalancedParen,
+    /// An operator missing its operand.
+    MissingOperand(&'static str),
+    /// Tokens remained after a complete expression.
+    TrailingInput,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lexical error: {e}"),
+            ParseError::Empty => write!(f, "empty query"),
+            ParseError::UnbalancedParen => write!(f, "unbalanced parentheses"),
+            ParseError::MissingOperand(op) => write!(f, "operator {op} is missing an operand"),
+            ParseError::TrailingInput => write!(f, "unexpected trailing input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a query string into a [`Query`].
+///
+/// # Examples
+///
+/// ```
+/// use hac_query::parse;
+///
+/// let q = parse("fingerprint AND NOT murder").unwrap();
+/// assert_eq!(q.display_with(|_| None), "(fingerprint AND NOT murder)");
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input; never panics.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let expr = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError::TrailingInput);
+    }
+    Ok(Query {
+        expr,
+        source: input.to_string(),
+    })
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w == kw)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<QueryExpr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.peek_keyword("or") {
+            self.bump();
+            let right = self.parse_and().map_err(|e| match e {
+                ParseError::Empty => ParseError::MissingOperand("OR"),
+                other => other,
+            })?;
+            left = QueryExpr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<QueryExpr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            // Explicit AND [NOT]?
+            if self.peek_keyword("and") {
+                self.bump();
+                if self.peek_keyword("not") {
+                    self.bump();
+                    let right = self.parse_unary().map_err(|e| match e {
+                        ParseError::Empty => ParseError::MissingOperand("AND NOT"),
+                        other => other,
+                    })?;
+                    left = QueryExpr::and_not(left, right);
+                } else {
+                    let right = self.parse_unary().map_err(|e| match e {
+                        ParseError::Empty => ParseError::MissingOperand("AND"),
+                        other => other,
+                    })?;
+                    left = QueryExpr::and(left, right);
+                }
+                continue;
+            }
+            // Juxtaposition: another primary begins here?
+            match self.peek() {
+                Some(Tok::Word(w)) if w == "or" => break,
+                Some(Tok::RParen) | None => break,
+                Some(_) => {
+                    let right = self.parse_unary()?;
+                    left = QueryExpr::and(left, right);
+                }
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<QueryExpr, ParseError> {
+        if self.peek_keyword("not") {
+            self.bump();
+            let inner = self.parse_unary().map_err(|e| match e {
+                ParseError::Empty => ParseError::MissingOperand("NOT"),
+                other => other,
+            })?;
+            return Ok(QueryExpr::not(inner));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<QueryExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let inner = self.parse_or()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => Err(ParseError::UnbalancedParen),
+                }
+            }
+            Some(Tok::RParen) => Err(ParseError::UnbalancedParen),
+            Some(Tok::Word(w)) => Ok(QueryExpr::Term(w)),
+            Some(Tok::Field(n, v)) => Ok(QueryExpr::Field(n, v)),
+            Some(Tok::Phrase(ws)) => Ok(QueryExpr::Phrase(ws)),
+            Some(Tok::Approx(t, k)) => Ok(QueryExpr::Approx(t, k)),
+            Some(Tok::Prefix(t)) => Ok(QueryExpr::Prefix(t)),
+            Some(Tok::PathRef(p)) => Ok(QueryExpr::Dir(DirRef::Path(p))),
+            Some(Tok::Star) => Ok(QueryExpr::All),
+            None => Err(ParseError::Empty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_vfs::VPath;
+
+    fn show(q: &str) -> String {
+        parse(q).unwrap().display_with(|_| None)
+    }
+
+    #[test]
+    fn single_term() {
+        assert_eq!(show("fingerprint"), "fingerprint");
+    }
+
+    #[test]
+    fn precedence_or_lower_than_and() {
+        assert_eq!(show("a OR b AND c"), "(a OR (b AND c))");
+        assert_eq!(show("a AND b OR c"), "((a AND b) OR c)");
+    }
+
+    #[test]
+    fn juxtaposition_is_and() {
+        assert_eq!(show("finger print email"), "((finger AND print) AND email)");
+    }
+
+    #[test]
+    fn and_not_is_a_single_node() {
+        let q = parse("fingerprint AND NOT murder").unwrap();
+        assert!(matches!(q.expr, QueryExpr::AndNot(..)));
+    }
+
+    #[test]
+    fn unary_not_nests() {
+        assert_eq!(show("NOT NOT a"), "(NOT (NOT a))");
+        assert_eq!(show("a AND (NOT b)"), "(a AND (NOT b))");
+    }
+
+    #[test]
+    fn parens_override() {
+        assert_eq!(show("(a OR b) AND c"), "((a OR b) AND c)");
+        assert_eq!(parse("(a"), Err(ParseError::UnbalancedParen));
+        assert_eq!(parse("a)"), Err(ParseError::TrailingInput));
+        assert_eq!(parse(")"), Err(ParseError::UnbalancedParen));
+    }
+
+    #[test]
+    fn empty_and_operator_errors() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert_eq!(parse("a AND"), Err(ParseError::MissingOperand("AND")));
+        assert_eq!(parse("a OR"), Err(ParseError::MissingOperand("OR")));
+        assert_eq!(parse("NOT"), Err(ParseError::MissingOperand("NOT")));
+        assert_eq!(
+            parse("a AND NOT"),
+            Err(ParseError::MissingOperand("AND NOT"))
+        );
+    }
+
+    #[test]
+    fn the_papers_running_example() {
+        // §2.5: "<old query> AND <path-name of parent>".
+        let q = parse("fingerprint AND path(/projects)").unwrap();
+        assert_eq!(
+            q.expr.unbound_paths(),
+            vec![VPath::parse("/projects").unwrap()]
+        );
+        assert_eq!(
+            show("fingerprint AND path(/projects)"),
+            "(fingerprint AND path(/projects))"
+        );
+    }
+
+    #[test]
+    fn mixed_leaves() {
+        let q = show("from:alice \"status report\" ~2:kernl *");
+        assert_eq!(
+            q,
+            "(((from:alice AND \"status report\") AND ~2:kernl) AND *)"
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(show("a and b or not c"), "((a AND b) OR (NOT c))");
+    }
+}
+
+#[cfg(test)]
+mod prefix_tests {
+    use super::*;
+
+    #[test]
+    fn prefix_parses_and_displays() {
+        let q = parse("finger* AND NOT email").unwrap();
+        assert!(matches!(
+            &q.expr,
+            QueryExpr::AndNot(a, _) if matches!(&**a, QueryExpr::Prefix(p) if p == "finger")
+        ));
+        assert_eq!(q.display_with(|_| None), "(finger* AND NOT email)");
+    }
+
+    #[test]
+    fn bare_star_is_still_all() {
+        assert!(matches!(parse("*").unwrap().expr, QueryExpr::All));
+    }
+}

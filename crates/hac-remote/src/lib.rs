@@ -1,0 +1,26 @@
+//! # hac-remote — remote name spaces for semantic mount points
+//!
+//! Concrete [`hac_core::RemoteQuerySystem`] implementations standing in for
+//! the remote systems §3 of the paper mounts semantically:
+//!
+//! * [`WebSearchSim`] — a simulated commercial web search engine (own
+//!   corpus, real inverted index, latency model, failure injection);
+//! * [`RemoteHac`] — another user's `HacFs` exported as a mini digital
+//!   library, including their hand-curated semantic directories;
+//! * [`FlatFileServer`] — a flat, link-free store, exercising the paper's
+//!   claim that HAC runs over flat file systems.
+//!
+//! The paper evaluated against live search services we cannot ship;
+//! DESIGN.md §2 documents why these simulations exercise the same HAC code
+//! paths (import, refinement, prohibition, failure handling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flatfs;
+pub mod remotehac;
+pub mod websearch;
+
+pub use flatfs::FlatFileServer;
+pub use remotehac::RemoteHac;
+pub use websearch::{FailurePolicy, WebSearchSim};

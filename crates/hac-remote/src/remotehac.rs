@@ -1,0 +1,183 @@
+//! Another HAC file system exported as a remote name space.
+//!
+//! §3.2's closing example: users "export their file systems as mini-digital
+//! libraries to others". `RemoteHac` wraps a whole [`HacFs`] and answers
+//! queries over the scope its root provides; document ids are the remote
+//! paths. Mounting a colleague's `RemoteHac` lets you build your own
+//! semantic classification of their (possibly hand-curated) results —
+//! including results *they* imported and edited.
+
+use std::sync::Arc;
+
+use hac_core::{HacFs, NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+use hac_index::ContentExpr;
+use hac_vfs::VPath;
+
+/// A `HacFs` served as a remote query system.
+pub struct RemoteHac {
+    ns: NamespaceId,
+    fs: Arc<HacFs>,
+    /// Scope root inside the exported system (export a subtree, not
+    /// necessarily everything).
+    export_root: VPath,
+}
+
+impl RemoteHac {
+    /// Exports the subtree at `export_root` of `fs` under namespace `ns`.
+    pub fn new(ns: &str, fs: Arc<HacFs>, export_root: VPath) -> Self {
+        RemoteHac {
+            ns: NamespaceId(ns.to_string()),
+            fs,
+            export_root,
+        }
+    }
+
+    fn expr_to_text(expr: &ContentExpr) -> String {
+        // Render the content expression back into HAC query syntax so the
+        // exported file system evaluates it with its own engine.
+        match expr {
+            ContentExpr::Term(t) => t.clone(),
+            ContentExpr::Field(n, v) => format!("{n}:{v}"),
+            ContentExpr::Phrase(ws) => format!("\"{}\"", ws.join(" ")),
+            ContentExpr::Approx(t, k) => format!("~{k}:{t}"),
+            ContentExpr::Prefix(t) => format!("{t}*"),
+            ContentExpr::And(a, b) => {
+                format!("({} AND {})", Self::expr_to_text(a), Self::expr_to_text(b))
+            }
+            ContentExpr::Or(a, b) => {
+                format!("({} OR {})", Self::expr_to_text(a), Self::expr_to_text(b))
+            }
+            ContentExpr::AndNot(a, b) => {
+                format!(
+                    "({} AND NOT {})",
+                    Self::expr_to_text(a),
+                    Self::expr_to_text(b)
+                )
+            }
+            ContentExpr::Not(a) => format!("(NOT {})", Self::expr_to_text(a)),
+            ContentExpr::All => "*".to_string(),
+            ContentExpr::Nothing => "(x AND NOT x)".to_string(),
+        }
+    }
+}
+
+impl RemoteQuerySystem for RemoteHac {
+    fn namespace(&self) -> NamespaceId {
+        self.ns.clone()
+    }
+
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+        let text = Self::expr_to_text(query);
+        let hits = self
+            .fs
+            .search(&self.export_root, &text)
+            .map_err(|e| RemoteError::UnsupportedQuery(e.to_string()))?;
+        let mut out: Vec<RemoteDoc> = hits
+            .into_iter()
+            .map(|p| RemoteDoc {
+                id: p.to_string(),
+                title: p.file_name().unwrap_or("export").to_string(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(out)
+    }
+
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+        let path = VPath::parse(id).map_err(|_| RemoteError::NotFound(id.to_string()))?;
+        // The export boundary is the export root's *scope*, not its path
+        // prefix: a curated semantic directory's links point at files that
+        // live elsewhere, and exactly those files are what it exports.
+        let in_subtree = path.starts_with(&self.export_root);
+        let in_scope = || {
+            self.fs
+                .search(&self.export_root, "*")
+                .map(|paths| paths.contains(&path))
+                .unwrap_or(false)
+        };
+        if !in_subtree && !in_scope() {
+            return Err(RemoteError::NotFound(id.to_string()));
+        }
+        self.fs
+            .read_file(&path)
+            .map(|b| b.to_vec())
+            .map_err(|_| RemoteError::NotFound(id.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    fn colleague() -> Arc<HacFs> {
+        let fs = Arc::new(HacFs::new());
+        fs.mkdir_p(&p("/pub/papers")).unwrap();
+        fs.save(&p("/pub/papers/fp.txt"), b"fingerprint matching methods")
+            .unwrap();
+        fs.save(&p("/pub/papers/db.txt"), b"database join algorithms")
+            .unwrap();
+        fs.mkdir_p(&p("/private")).unwrap();
+        fs.save(&p("/private/diary.txt"), b"secret fingerprint notes")
+            .unwrap();
+        fs.ssync(&p("/")).unwrap();
+        fs
+    }
+
+    #[test]
+    fn search_is_scoped_to_the_export_root() {
+        let remote = RemoteHac::new("colleague", colleague(), p("/pub"));
+        let hits = remote.search(&ContentExpr::term("fingerprint")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, "/pub/papers/fp.txt");
+        assert_eq!(hits[0].title, "fp.txt");
+    }
+
+    #[test]
+    fn fetch_respects_the_export_boundary() {
+        let remote = RemoteHac::new("colleague", colleague(), p("/pub"));
+        assert_eq!(
+            remote.fetch("/pub/papers/fp.txt").unwrap(),
+            b"fingerprint matching methods".to_vec()
+        );
+        assert!(matches!(
+            remote.fetch("/private/diary.txt"),
+            Err(RemoteError::NotFound(_))
+        ));
+        assert!(matches!(
+            remote.fetch("not-a-path"),
+            Err(RemoteError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn curated_results_are_what_gets_exported() {
+        // The colleague hand-curates a semantic directory; its *provided
+        // scope* (the curated set) is what a search of that subtree sees.
+        let fs = colleague();
+        // Scope the curated directory to the public papers explicitly (a
+        // plain parent directory is transparent, so the query must carry
+        // the subtree restriction itself).
+        fs.smkdir(&p("/pub/fp"), "fingerprint AND path(/pub/papers)")
+            .unwrap();
+        let remote = RemoteHac::new("c", Arc::clone(&fs), p("/pub/fp"));
+        let hits = remote.search(&ContentExpr::All).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].id.ends_with("fp.txt"));
+    }
+
+    #[test]
+    fn boolean_queries_cross_the_wire() {
+        let remote = RemoteHac::new("colleague", colleague(), p("/pub"));
+        let hits = remote
+            .search(&ContentExpr::or(
+                ContentExpr::term("fingerprint"),
+                ContentExpr::term("join"),
+            ))
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,567 @@
+//! # hac-shell — `hacsh`
+//!
+//! An interactive shell over a [`HacFs`], exposing the paper's §4 command
+//! suite: "well-known file system commands, such as `cd`, `ls`, `mkdir`,
+//! `mv`, `rm` etc. … HAC also provides additional commands that manipulate
+//! queries and semantic directories" — `smkdir`, `chquery`/`query`,
+//! `sact`, `ssync`, plus the footnote API (`links`, `prohibited`, `pin`,
+//! `forgive`).
+//!
+//! The [`Shell`] is a pure function from command lines to output strings,
+//! so every command is unit-testable; `hacsh` (the binary) wraps it in a
+//! stdin REPL.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parse;
+
+use std::fmt;
+use std::sync::Arc;
+
+use hac_core::{HacError, HacFs, LinkKind, LinkTarget};
+use hac_vfs::{NodeKind, VPath};
+
+/// Shell-level errors (wrapping HAC errors with usage problems).
+#[derive(Debug)]
+pub enum ShellError {
+    /// The command does not exist.
+    UnknownCommand(String),
+    /// Wrong number / shape of arguments.
+    Usage(&'static str),
+    /// The underlying file system refused.
+    Hac(HacError),
+}
+
+impl fmt::Display for ShellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShellError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try `help`)")
+            }
+            ShellError::Usage(u) => write!(f, "usage: {u}"),
+            ShellError::Hac(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShellError {}
+
+impl From<HacError> for ShellError {
+    fn from(e: HacError) -> Self {
+        ShellError::Hac(e)
+    }
+}
+
+impl From<hac_vfs::VfsError> for ShellError {
+    fn from(e: hac_vfs::VfsError) -> Self {
+        ShellError::Hac(HacError::Vfs(e))
+    }
+}
+
+/// A shell session: a file system plus a working directory.
+pub struct Shell {
+    fs: Arc<HacFs>,
+    cwd: VPath,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// Fresh shell over a fresh file system.
+    pub fn new() -> Self {
+        Shell {
+            fs: Arc::new(HacFs::new()),
+            cwd: VPath::root(),
+        }
+    }
+
+    /// Shell over an existing file system (shared with other components).
+    pub fn over(fs: Arc<HacFs>) -> Self {
+        Shell {
+            fs,
+            cwd: VPath::root(),
+        }
+    }
+
+    /// The wrapped file system.
+    pub fn fs(&self) -> &Arc<HacFs> {
+        &self.fs
+    }
+
+    /// Current working directory.
+    pub fn cwd(&self) -> &VPath {
+        &self.cwd
+    }
+
+    /// Resolves a possibly-relative path argument against the cwd.
+    pub fn resolve_arg(&self, arg: &str) -> Result<VPath, ShellError> {
+        let combined = if arg.starts_with('/') {
+            arg.to_string()
+        } else if self.cwd.is_root() {
+            format!("/{arg}")
+        } else {
+            format!("{}/{arg}", self.cwd)
+        };
+        Ok(VPath::parse(&combined).map_err(HacError::Vfs)?)
+    }
+
+    /// Executes one command line, returning its output text.
+    ///
+    /// # Errors
+    ///
+    /// [`ShellError`] for unknown commands, usage mistakes, and file-system
+    /// refusals; the session stays usable after any error.
+    pub fn exec(&mut self, line: &str) -> Result<String, ShellError> {
+        let words = parse::split(line);
+        let Some((cmd, args)) = words.split_first() else {
+            return Ok(String::new());
+        };
+        match cmd.as_str() {
+            "help" => Ok(HELP.to_string()),
+            "pwd" => Ok(self.cwd.to_string()),
+            "cd" => {
+                let target = match args {
+                    [] => VPath::root(),
+                    [p] => self.resolve_arg(p)?,
+                    _ => return Err(ShellError::Usage("cd [dir]")),
+                };
+                let attr = self.fs.stat(&target)?;
+                if !attr.is_dir() {
+                    return Err(ShellError::Hac(HacError::NotADirectory(target)));
+                }
+                self.cwd = target;
+                Ok(String::new())
+            }
+            "ls" => {
+                let (long, rest) = match args {
+                    [flag, rest @ ..] if flag == "-l" => (true, rest),
+                    rest => (false, rest),
+                };
+                let dir = match rest {
+                    [] => self.cwd.clone(),
+                    [p] => self.resolve_arg(p)?,
+                    _ => return Err(ShellError::Usage("ls [-l] [dir]")),
+                };
+                let mut out = String::new();
+                for entry in self.fs.readdir(&dir)? {
+                    if long {
+                        let child = dir.join(&entry.name).map_err(HacError::Vfs)?;
+                        let attr = self.fs.vfs().lstat(&child)?;
+                        let suffix = match entry.kind {
+                            NodeKind::Symlink => {
+                                format!(" -> {}", self.fs.readlink(&child)?)
+                            }
+                            _ => String::new(),
+                        };
+                        let sem = if entry.kind == NodeKind::Dir && self.fs.is_semantic(&child) {
+                            " [semantic]"
+                        } else {
+                            ""
+                        };
+                        out.push_str(&format!(
+                            "{} {:>8} {}{}{}\n",
+                            attr.kind.tag(),
+                            attr.size,
+                            entry.name,
+                            suffix,
+                            sem
+                        ));
+                    } else {
+                        out.push_str(&entry.name);
+                        out.push('\n');
+                    }
+                }
+                Ok(out)
+            }
+            "cat" => match args {
+                [p] => {
+                    let path = self.resolve_arg(p)?;
+                    let data = self.fs.read_file(&path)?;
+                    Ok(String::from_utf8_lossy(&data).to_string())
+                }
+                _ => Err(ShellError::Usage("cat <file>")),
+            },
+            "mkdir" => match args {
+                [flag, p] if flag == "-p" => {
+                    self.fs.mkdir_p(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                [p] => {
+                    self.fs.mkdir(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("mkdir [-p] <dir>")),
+            },
+            "write" => match args {
+                [p, rest @ ..] => {
+                    let text = rest.join(" ");
+                    self.fs.save(&self.resolve_arg(p)?, text.as_bytes())?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("write <file> <text…>")),
+            },
+            "append" => match args {
+                [p, rest @ ..] => {
+                    let text = rest.join(" ");
+                    self.fs.append(&self.resolve_arg(p)?, text.as_bytes())?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("append <file> <text…>")),
+            },
+            "rm" => match args {
+                [flag, p] if flag == "-r" => {
+                    self.fs.remove_recursive(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                [p] => {
+                    self.fs.unlink(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("rm [-r] <path>")),
+            },
+            "rmdir" => match args {
+                [p] => {
+                    self.fs.rmdir(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("rmdir <dir>")),
+            },
+            "mv" => match args {
+                [from, to] => {
+                    self.fs
+                        .rename(&self.resolve_arg(from)?, &self.resolve_arg(to)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("mv <from> <to>")),
+            },
+            "ln" => match args {
+                [target, link] => {
+                    self.fs
+                        .symlink(&self.resolve_arg(link)?, &self.resolve_arg(target)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("ln <target> <link>")),
+            },
+            "readlink" => match args {
+                [p] => Ok(format!("{}\n", self.fs.readlink(&self.resolve_arg(p)?)?)),
+                _ => Err(ShellError::Usage("readlink <link>")),
+            },
+            // --- semantic commands -------------------------------------
+            "smkdir" => match args {
+                [p, query @ ..] if !query.is_empty() => {
+                    let dir = self.resolve_arg(p)?;
+                    self.fs.smkdir(&dir, &query.join(" "))?;
+                    let n = self.fs.readdir(&dir)?.len();
+                    Ok(format!("created semantic directory {dir} ({n} links)\n"))
+                }
+                _ => Err(ShellError::Usage("smkdir <dir> <query…>")),
+            },
+            "query" | "sreadq" => match args {
+                [p] => Ok(format!("{}\n", self.fs.get_query(&self.resolve_arg(p)?)?)),
+                _ => Err(ShellError::Usage("query <dir>")),
+            },
+            "chquery" | "schquery" => match args {
+                [p, query @ ..] if !query.is_empty() => {
+                    self.fs.set_query(&self.resolve_arg(p)?, &query.join(" "))?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("chquery <dir> <query…>")),
+            },
+            "sact" => match args {
+                [p] => {
+                    let lines = self.fs.sact(&self.resolve_arg(p)?)?;
+                    Ok(lines.join("\n") + if lines.is_empty() { "" } else { "\n" })
+                }
+                _ => Err(ShellError::Usage("sact <link>")),
+            },
+            "ssync" => {
+                let path = match args {
+                    [] => VPath::root(),
+                    [p] => self.resolve_arg(p)?,
+                    _ => return Err(ShellError::Usage("ssync [path]")),
+                };
+                let r = self.fs.ssync(&path)?;
+                Ok(format!(
+                    "indexed +{} ~{} -{}; {} dirs re-evaluated; {} links repaired\n",
+                    r.added, r.updated, r.removed, r.dirs_synced, r.links_repaired
+                ))
+            }
+            "explain" => match args {
+                [query @ ..] if !query.is_empty() => {
+                    let (hits, stats) = self.fs.search_explained(&self.cwd, &query.join(" "))?;
+                    Ok(format!(
+                        "{} hits; {} candidates, {} verified, {} false positives\n",
+                        hits.len(),
+                        stats.candidates,
+                        stats.verified,
+                        stats.false_positives
+                    ))
+                }
+                _ => Err(ShellError::Usage("explain <query…>")),
+            },
+            "find" => match args {
+                [query @ ..] if !query.is_empty() => {
+                    let hits = self.fs.search(&self.cwd, &query.join(" "))?;
+                    let mut out = String::new();
+                    for h in hits {
+                        out.push_str(&h.to_string());
+                        out.push('\n');
+                    }
+                    Ok(out)
+                }
+                _ => Err(ShellError::Usage("find <query…>")),
+            },
+            // --- the footnote API ---------------------------------------
+            "links" => match args {
+                [p] => {
+                    let mut out = String::new();
+                    for link in self.fs.list_links(&self.resolve_arg(p)?)? {
+                        let kind = match link.kind {
+                            LinkKind::Transient => "transient",
+                            LinkKind::Permanent => "permanent",
+                        };
+                        out.push_str(&format!(
+                            "{:<9} {} -> {}\n",
+                            kind,
+                            link.name,
+                            target_str(&link.target)
+                        ));
+                    }
+                    Ok(out)
+                }
+                _ => Err(ShellError::Usage("links <dir>")),
+            },
+            "prohibited" => match args {
+                [p] => {
+                    let mut out = String::new();
+                    for (i, t) in self
+                        .fs
+                        .list_prohibited(&self.resolve_arg(p)?)?
+                        .iter()
+                        .enumerate()
+                    {
+                        out.push_str(&format!("[{i}] {}\n", target_str(t)));
+                    }
+                    Ok(out)
+                }
+                _ => Err(ShellError::Usage("prohibited <dir>")),
+            },
+            "forgive" => match args {
+                [p, idx] => {
+                    let dir = self.resolve_arg(p)?;
+                    let list = self.fs.list_prohibited(&dir)?;
+                    let i: usize = idx
+                        .parse()
+                        .map_err(|_| ShellError::Usage("forgive <dir> <index>"))?;
+                    let Some(target) = list.get(i) else {
+                        return Err(ShellError::Usage("forgive <dir> <index>"));
+                    };
+                    self.fs.forgive(&dir, target)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("forgive <dir> <index>")),
+            },
+            "pin" => match args {
+                [p] => {
+                    self.fs.make_permanent(&self.resolve_arg(p)?)?;
+                    Ok(String::new())
+                }
+                _ => Err(ShellError::Usage("pin <link>")),
+            },
+            "mounts" => match args {
+                [p] => {
+                    let namespaces = self.fs.mounts_at(&self.resolve_arg(p)?)?;
+                    Ok(namespaces
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                        + "\n")
+                }
+                _ => Err(ShellError::Usage("mounts <dir>")),
+            },
+            "stats" => {
+                let s = self.fs.index_stats();
+                Ok(format!(
+                    "docs {}  terms {}  blocks {}  index {} B  hac-metadata {} B\n",
+                    s.docs,
+                    s.terms,
+                    s.blocks,
+                    s.total_bytes(),
+                    self.fs.metadata_bytes()
+                ))
+            }
+            other => Err(ShellError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    /// Executes a `;`-separated script, collecting output; stops at the
+    /// first error.
+    pub fn exec_script(&mut self, script: &str) -> Result<String, ShellError> {
+        let mut out = String::new();
+        for part in script.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push_str(&self.exec(part)?);
+        }
+        Ok(out)
+    }
+}
+
+fn target_str(t: &LinkTarget) -> String {
+    match t {
+        LinkTarget::Local(fid) => format!("local {fid}"),
+        LinkTarget::Remote(ns, id) => format!("remote {ns}:{id}"),
+    }
+}
+
+/// `help` text.
+pub const HELP: &str = "\
+file system : pwd cd ls [-l] cat mkdir [-p] write append rm [-r] rmdir mv \
+ln readlink
+semantic    : smkdir <dir> <query> | query <dir> | chquery <dir> <query> | \
+sact <link> | ssync [path] | find <query> | explain <query>
+curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
+other       : mounts <dir> | stats | help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh() -> Shell {
+        let mut sh = Shell::new();
+        sh.exec("mkdir /docs").unwrap();
+        sh.exec("write /docs/a.txt fingerprint ridge patterns")
+            .unwrap();
+        sh.exec("write /docs/b.txt grocery list").unwrap();
+        sh.exec("ssync").unwrap();
+        sh
+    }
+
+    #[test]
+    fn basic_file_commands() {
+        let mut sh = sh();
+        assert_eq!(sh.exec("pwd").unwrap(), "/");
+        sh.exec("cd /docs").unwrap();
+        assert_eq!(sh.exec("pwd").unwrap(), "/docs");
+        assert_eq!(sh.exec("ls").unwrap(), "a.txt\nb.txt\n");
+        assert_eq!(sh.exec("cat a.txt").unwrap(), "fingerprint ridge patterns");
+        // Relative paths resolve against cwd.
+        sh.exec("write c.txt more words").unwrap();
+        assert!(sh.exec("ls").unwrap().contains("c.txt"));
+        sh.exec("mv c.txt d.txt").unwrap();
+        sh.exec("rm d.txt").unwrap();
+        assert!(!sh.exec("ls").unwrap().contains("d.txt"));
+    }
+
+    #[test]
+    fn semantic_workflow() {
+        let mut sh = sh();
+        let out = sh.exec("smkdir /fp fingerprint").unwrap();
+        assert!(out.contains("1 links"), "{out}");
+        assert_eq!(sh.exec("ls /fp").unwrap(), "a.txt\n");
+        assert_eq!(sh.exec("query /fp").unwrap(), "fingerprint\n");
+        assert_eq!(
+            sh.exec("sact /fp/a.txt").unwrap(),
+            "fingerprint ridge patterns\n"
+        );
+        sh.exec("chquery /fp grocery").unwrap();
+        assert_eq!(sh.exec("ls /fp").unwrap(), "b.txt\n");
+        // ls -l marks semantic directories and link targets.
+        let long = sh.exec("ls -l /").unwrap();
+        assert!(long.contains("[semantic]"), "{long}");
+        let long = sh.exec("ls -l /fp").unwrap();
+        assert!(long.contains("-> /docs/b.txt"), "{long}");
+    }
+
+    #[test]
+    fn curation_commands() {
+        let mut sh = sh();
+        sh.exec("smkdir /fp fingerprint").unwrap();
+        sh.exec("rm /fp/a.txt").unwrap();
+        let prohibited = sh.exec("prohibited /fp").unwrap();
+        assert!(prohibited.contains("[0] local"), "{prohibited}");
+        sh.exec("ssync").unwrap();
+        assert_eq!(sh.exec("ls /fp").unwrap(), "");
+        sh.exec("forgive /fp 0").unwrap();
+        assert_eq!(sh.exec("ls /fp").unwrap(), "a.txt\n");
+        sh.exec("ln /docs/b.txt /fp/extra").unwrap();
+        sh.exec("pin /fp/a.txt").unwrap();
+        let links = sh.exec("links /fp").unwrap();
+        assert!(links.contains("permanent a.txt"), "{links}");
+        assert!(links.contains("permanent extra"), "{links}");
+    }
+
+    #[test]
+    fn quoted_queries_and_scripts() {
+        let mut sh = Shell::new();
+        let out = sh
+            .exec_script(
+                "mkdir /d; write /d/x.txt ridge endings here; ssync; \
+                 smkdir /q \"ridge endings\"; ls /q",
+            )
+            .unwrap();
+        assert!(out.contains("x.txt"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let mut sh = sh();
+        assert!(matches!(
+            sh.exec("frobnicate"),
+            Err(ShellError::UnknownCommand(_))
+        ));
+        assert!(matches!(sh.exec("cd"), Ok(_)));
+        assert!(matches!(sh.exec("cd /docs/a.txt"), Err(ShellError::Hac(_))));
+        assert!(matches!(sh.exec("cat"), Err(ShellError::Usage(_))));
+        assert!(matches!(sh.exec("cat /nope"), Err(ShellError::Hac(_))));
+        // Still alive.
+        assert_eq!(sh.exec("pwd").unwrap(), "/");
+    }
+
+    #[test]
+    fn find_is_cwd_scoped() {
+        let mut sh = sh();
+        sh.exec("mkdir /other").unwrap();
+        sh.exec("write /other/z.txt fingerprint elsewhere").unwrap();
+        sh.exec("ssync").unwrap();
+        sh.exec("cd /docs").unwrap();
+        let out = sh.exec("find fingerprint").unwrap();
+        assert!(out.contains("/docs/a.txt"));
+        assert!(!out.contains("/other/z.txt"));
+        let empty = sh.exec("find nosuchword").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn stats_and_help() {
+        let mut sh = sh();
+        assert!(sh.exec("stats").unwrap().contains("docs 2"));
+        assert!(sh.exec("help").unwrap().contains("smkdir"));
+        assert_eq!(sh.exec("").unwrap(), "");
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_reports_verification_work() {
+        let mut sh = Shell::new();
+        sh.exec_script("mkdir /d; write /d/a.txt ridge valley; write /d/b.txt valley only; ssync")
+            .unwrap();
+        let out = sh.exec("explain ridge").unwrap();
+        assert!(out.starts_with("1 hits;"), "{out}");
+        assert!(out.contains("candidates"), "{out}");
+        assert!(matches!(sh.exec("explain"), Err(ShellError::Usage(_))));
+    }
+}

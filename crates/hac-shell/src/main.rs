@@ -1,0 +1,83 @@
+//! `hacsh` — interactive shell over a HAC file system.
+//!
+//! ```text
+//! hacsh                 # empty file system, REPL on stdin
+//! hacsh --demo          # pre-populated with the fingerprint example
+//! hacsh -c "cmd; cmd"   # batch mode
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
+
+use hac_core::HacFs;
+use hac_corpus::{generate_mailbox, MailboxSpec};
+use hac_shell::Shell;
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+fn demo_fs() -> Arc<HacFs> {
+    let fs = Arc::new(HacFs::new());
+    let seed = |path: &str, text: &str| {
+        fs.save(&p(path), text.as_bytes()).expect("seed file");
+    };
+    fs.mkdir_p(&p("/home/user/notes")).expect("seed dirs");
+    seed(
+        "/home/user/notes/ideas.txt",
+        "fingerprint indexing by ridge features",
+    );
+    seed("/home/user/notes/todo.txt", "call dentist, buy coffee");
+    seed(
+        "/home/user/notes/paper.txt",
+        "semantic file system draft with fingerprint example",
+    );
+    generate_mailbox(fs.vfs(), &p("/home/user/mail"), &MailboxSpec::default()).expect("seed mail");
+    fs.ssync(&p("/")).expect("initial index");
+    fs.smkdir(&p("/home/user/fingerprint"), "fingerprint")
+        .expect("seed semantic dir");
+    fs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let demo = args.iter().any(|a| a == "--demo");
+    let mut shell = if demo {
+        Shell::over(demo_fs())
+    } else {
+        Shell::new()
+    };
+
+    // Batch mode: -c "script".
+    if let Some(pos) = args.iter().position(|a| a == "-c") {
+        let script = args.get(pos + 1).cloned().unwrap_or_default();
+        match shell.exec_script(&script) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("hacsh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("hacsh — HAC file system shell (type `help`, ctrl-d to exit)");
+    if demo {
+        println!("demo namespace loaded: try `ls /home/user/fingerprint` or `find from:alice`");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        print!("{} $ ", shell.cwd());
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match shell.exec(line.trim()) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("hacsh: {e}"),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Command-line tokenization: whitespace splitting with single/double
+//! quotes, so queries with phrases survive (`smkdir /fp "ridge endings"`).
+
+/// Splits a command line into words, honouring quotes.
+///
+/// # Examples
+///
+/// ```
+/// use hac_shell::parse::split;
+///
+/// assert_eq!(split(r#"smkdir /fp "a b" c"#), vec!["smkdir", "/fp", "a b", "c"]);
+/// ```
+pub fn split(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    let mut had_any = false;
+    for c in line.chars() {
+        match quote {
+            Some(q) if c == q => {
+                quote = None;
+            }
+            Some(_) => cur.push(c),
+            None if c == '\'' || c == '"' => {
+                quote = Some(c);
+                had_any = true;
+            }
+            None if c.is_whitespace() => {
+                if had_any || !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                    had_any = false;
+                }
+            }
+            None => {
+                cur.push(c);
+                had_any = true;
+            }
+        }
+    }
+    if had_any || !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_words() {
+        assert_eq!(split("ls -l /a"), vec!["ls", "-l", "/a"]);
+        assert_eq!(split("   spaced    out  "), vec!["spaced", "out"]);
+        assert!(split("").is_empty());
+        assert!(split("   ").is_empty());
+    }
+
+    #[test]
+    fn quotes_preserve_spaces() {
+        assert_eq!(split(r#"a "b c" d"#), vec!["a", "b c", "d"]);
+        assert_eq!(split("a 'b  c'"), vec!["a", "b  c"]);
+    }
+
+    #[test]
+    fn empty_quoted_token_survives() {
+        assert_eq!(split(r#"write /f """#), vec!["write", "/f", ""]);
+    }
+
+    #[test]
+    fn adjacent_quotes_concatenate() {
+        assert_eq!(split(r#"a"b"'c'"#), vec!["abc"]);
+    }
+}

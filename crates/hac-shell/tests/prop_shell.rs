@@ -1,0 +1,70 @@
+//! Property test: random command traces never panic the shell, and the
+//! session remains usable afterwards.
+
+use proptest::prelude::*;
+
+use hac_shell::Shell;
+
+fn command_strategy() -> impl Strategy<Value = String> {
+    let word = "[a-z]{1,6}";
+    let path = prop_oneof![
+        Just("/d0".to_string()),
+        Just("/d1".to_string()),
+        Just("/d0/f0".to_string()),
+        Just("/d0/f1".to_string()),
+        Just("/q0".to_string()),
+        Just("/q0/sub".to_string()),
+        Just("relative".to_string()),
+        Just("..".to_string()),
+    ];
+    prop_oneof![
+        path.clone().prop_map(|p| format!("mkdir {p}")),
+        (path.clone(), word).prop_map(|(p, w)| format!("write {p} {w} content")),
+        path.clone().prop_map(|p| format!("cat {p}")),
+        path.clone().prop_map(|p| format!("ls {p}")),
+        path.clone().prop_map(|p| format!("cd {p}")),
+        path.clone().prop_map(|p| format!("rm {p}")),
+        path.clone().prop_map(|p| format!("rm -r {p}")),
+        (path.clone(), path.clone()).prop_map(|(a, b)| format!("mv {a} {b}")),
+        (path.clone(), path.clone()).prop_map(|(a, b)| format!("ln {a} {b}")),
+        (path.clone(), "[a-z]{2,6}").prop_map(|(p, q)| format!("smkdir {p} {q}")),
+        (path.clone(), "[a-z]{2,6}").prop_map(|(p, q)| format!("chquery {p} {q}")),
+        path.clone().prop_map(|p| format!("query {p}")),
+        path.clone().prop_map(|p| format!("links {p}")),
+        path.clone().prop_map(|p| format!("prohibited {p}")),
+        Just("ssync".to_string()),
+        Just("stats".to_string()),
+        Just("pwd".to_string()),
+        "[a-z]{2,6}".prop_map(|q| format!("find {q}")),
+        "[a-z]{2,6}".prop_map(|q| format!("explain {q}")),
+        // Deliberately malformed lines.
+        Just("smkdir".to_string()),
+        Just("cat".to_string()),
+        Just("((( '".to_string()),
+        Just("unknowncmd x y".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_sessions_never_panic(cmds in proptest::collection::vec(command_strategy(), 1..50)) {
+        let mut sh = Shell::new();
+        for cmd in &cmds {
+            // Errors are fine; panics are not (proptest catches them as
+            // failures automatically).
+            let _ = sh.exec(cmd);
+        }
+        // The session is still coherent: pwd answers and a fresh round-trip
+        // works end to end.
+        prop_assert!(sh.exec("pwd").is_ok());
+        sh.exec("cd /").unwrap();
+        let _ = sh.exec("rm -r /zzz-probe");
+        sh.exec("mkdir /zzz-probe").unwrap();
+        sh.exec("write /zzz-probe/x.txt zebra stripes").unwrap();
+        sh.exec("ssync").unwrap();
+        let out = sh.exec("find zebra").unwrap();
+        prop_assert!(out.contains("/zzz-probe/x.txt"), "{}", out);
+    }
+}

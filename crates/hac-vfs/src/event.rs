@@ -1,0 +1,161 @@
+//! Mutation event stream.
+//!
+//! The paper's HAC layer intercepts every file-system call; in this
+//! reproduction the HAC layer wraps [`crate::Vfs`] directly, but other
+//! consumers (the periodic reindex daemon, tests, tracing tools) subscribe to
+//! a broadcast of mutations instead. Each subscriber gets its own unbounded
+//! channel; a dropped receiver is pruned lazily on the next publish.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::attr::FileId;
+use crate::path::VPath;
+
+/// A structural or content mutation applied to the namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // Field meanings are given on each variant.
+pub enum VfsEvent {
+    /// A regular file was created at `path` with node id `id`.
+    FileCreated { id: FileId, path: VPath },
+    /// A directory was created at `path` with node id `id`.
+    DirCreated { id: FileId, path: VPath },
+    /// A symbolic link to `target` was created at `path`.
+    SymlinkCreated {
+        id: FileId,
+        path: VPath,
+        target: VPath,
+    },
+    /// File content changed (write or truncate); `new_version` is the
+    /// post-mutation content version.
+    FileWritten {
+        id: FileId,
+        path: VPath,
+        new_version: u64,
+    },
+    /// The node at `path` was removed (`unlink` or `rmdir`).
+    Removed {
+        id: FileId,
+        path: VPath,
+        was_dir: bool,
+    },
+    /// The node was renamed/moved from `from` to `to`.
+    Renamed {
+        id: FileId,
+        from: VPath,
+        to: VPath,
+        is_dir: bool,
+    },
+    /// A foreign namespace was grafted at `at`.
+    Mounted { at: VPath },
+    /// A foreign namespace was detached from `at`.
+    Unmounted { at: VPath },
+}
+
+impl VfsEvent {
+    /// The primary path the event concerns (destination path for renames).
+    pub fn path(&self) -> &VPath {
+        match self {
+            VfsEvent::FileCreated { path, .. }
+            | VfsEvent::DirCreated { path, .. }
+            | VfsEvent::SymlinkCreated { path, .. }
+            | VfsEvent::FileWritten { path, .. }
+            | VfsEvent::Removed { path, .. } => path,
+            VfsEvent::Renamed { to, .. } => to,
+            VfsEvent::Mounted { at } | VfsEvent::Unmounted { at } => at,
+        }
+    }
+
+    /// Whether the event invalidates content indexing for some file (as
+    /// opposed to pure namespace structure changes).
+    pub fn is_content_change(&self) -> bool {
+        matches!(
+            self,
+            VfsEvent::FileWritten { .. }
+                | VfsEvent::FileCreated { .. }
+                | VfsEvent::Removed { was_dir: false, .. }
+        )
+    }
+}
+
+/// Broadcast hub for [`VfsEvent`]s.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Sender<VfsEvent>>>,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new subscriber and returns its receiving end.
+    pub fn subscribe(&self) -> Receiver<VfsEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes an event to all live subscribers, pruning dead ones.
+    pub fn publish(&self, event: VfsEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers (diagnostic).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> VfsEvent {
+        VfsEvent::FileCreated {
+            id: FileId(7),
+            path: VPath::parse("/a").unwrap(),
+        }
+    }
+
+    #[test]
+    fn subscribers_receive_published_events() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        bus.publish(ev());
+        assert_eq!(rx1.try_recv().unwrap(), ev());
+        assert_eq!(rx2.try_recv().unwrap(), ev());
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        drop(rx);
+        bus.publish(ev());
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn event_paths_and_content_flags() {
+        let write = VfsEvent::FileWritten {
+            id: FileId(1),
+            path: VPath::parse("/f").unwrap(),
+            new_version: 2,
+        };
+        assert!(write.is_content_change());
+        assert_eq!(write.path().to_string(), "/f");
+
+        let rename = VfsEvent::Renamed {
+            id: FileId(1),
+            from: VPath::parse("/a").unwrap(),
+            to: VPath::parse("/b").unwrap(),
+            is_dir: true,
+        };
+        assert!(!rename.is_content_change());
+        assert_eq!(rename.path().to_string(), "/b");
+    }
+}

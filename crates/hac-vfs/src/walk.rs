@@ -1,0 +1,131 @@
+//! Subtree traversal helpers.
+
+use crate::attr::{Attr, NodeKind};
+use crate::error::VfsResult;
+use crate::fs::Vfs;
+use crate::path::VPath;
+
+/// One visited entry during a walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkEntry {
+    /// Absolute path of the entry.
+    pub path: VPath,
+    /// Attributes at visit time (symlinks are reported as themselves, not
+    /// followed — following them would let link cycles make walks diverge).
+    pub attr: Attr,
+}
+
+/// Depth-first, name-ordered traversal of the subtree rooted at `start`.
+///
+/// The starting directory itself is included as the first entry. Symbolic
+/// links are reported but never followed; mount points are not descended
+/// into (the mounted namespace is foreign).
+///
+/// # Errors
+///
+/// Propagates resolution errors for `start`; entries that vanish mid-walk
+/// (concurrent mutation) are silently skipped.
+pub fn walk(vfs: &Vfs, start: &VPath) -> VfsResult<Vec<WalkEntry>> {
+    let mut out = Vec::new();
+    let attr = vfs.lstat(start)?;
+    out.push(WalkEntry {
+        path: start.clone(),
+        attr,
+    });
+    if attr.kind == NodeKind::Dir {
+        walk_into(vfs, start, &mut out);
+    }
+    Ok(out)
+}
+
+fn walk_into(vfs: &Vfs, dir: &VPath, out: &mut Vec<WalkEntry>) {
+    let entries = match vfs.readdir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries {
+        let Ok(path) = dir.join(&entry.name) else {
+            continue;
+        };
+        let Ok(attr) = vfs.lstat(&path) else { continue };
+        out.push(WalkEntry {
+            path: path.clone(),
+            attr,
+        });
+        if attr.kind == NodeKind::Dir {
+            walk_into(vfs, &path, out);
+        }
+    }
+}
+
+/// Collects the paths of all regular files in the subtree rooted at `start`.
+pub fn files_under(vfs: &Vfs, start: &VPath) -> VfsResult<Vec<VPath>> {
+    Ok(walk(vfs, start)?
+        .into_iter()
+        .filter(|e| e.attr.kind == NodeKind::File)
+        .map(|e| e.path)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vfs {
+        let fs = Vfs::new();
+        let p = |s: &str| VPath::parse(s).unwrap();
+        fs.mkdir_p(&p("/a/b")).unwrap();
+        fs.save(&p("/a/one.txt"), b"1").unwrap();
+        fs.save(&p("/a/b/two.txt"), b"2").unwrap();
+        fs.symlink(&p("/a/link"), &p("/a/b/two.txt")).unwrap();
+        fs
+    }
+
+    #[test]
+    fn walk_visits_subtree_depth_first() {
+        let fs = sample();
+        let entries = walk(&fs, &VPath::parse("/a").unwrap()).unwrap();
+        let paths: Vec<String> = entries.iter().map(|e| e.path.to_string()).collect();
+        assert_eq!(
+            paths,
+            vec!["/a", "/a/b", "/a/b/two.txt", "/a/link", "/a/one.txt"]
+        );
+    }
+
+    #[test]
+    fn walk_reports_symlinks_without_following() {
+        let fs = sample();
+        let entries = walk(&fs, &VPath::parse("/a").unwrap()).unwrap();
+        let link = entries
+            .iter()
+            .find(|e| e.path.to_string() == "/a/link")
+            .unwrap();
+        assert!(link.attr.is_symlink());
+    }
+
+    #[test]
+    fn files_under_filters_to_regular_files() {
+        let fs = sample();
+        let files = files_under(&fs, &VPath::root()).unwrap();
+        let names: Vec<String> = files.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["/a/b/two.txt", "/a/one.txt"]);
+    }
+
+    #[test]
+    fn walk_of_a_file_is_just_the_file() {
+        let fs = sample();
+        let entries = walk(&fs, &VPath::parse("/a/one.txt").unwrap()).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].attr.is_file());
+    }
+
+    #[test]
+    fn symlink_cycle_does_not_hang_walk() {
+        let fs = Vfs::new();
+        let p = |s: &str| VPath::parse(s).unwrap();
+        fs.mkdir(&p("/d")).unwrap();
+        fs.symlink(&p("/d/self"), &p("/d")).unwrap();
+        let entries = walk(&fs, &p("/d")).unwrap();
+        assert_eq!(entries.len(), 2);
+    }
+}

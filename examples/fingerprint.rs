@@ -1,0 +1,132 @@
+//! The paper's §2.1 running example, end to end.
+//!
+//! "Suppose that the user is working on a project involving the use of
+//! fingerprints. Information about the project may be found in email with
+//! its participants, in notes, articles, source code files … HAC allows to
+//! combine all relevant material in one semantic directory."
+//!
+//! Run with: `cargo run --example fingerprint`
+
+use std::sync::Arc;
+
+use hac::prelude::*;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+fn ls(fs: &HacFs, dir: &str) {
+    println!("$ ls {dir}");
+    match fs.readdir(&p(dir)) {
+        Ok(entries) => {
+            for e in entries {
+                println!("  {}", e.name);
+            }
+        }
+        Err(e) => println!("  (error: {e})"),
+    }
+    println!();
+}
+
+fn main() -> HacResult<()> {
+    let fs = HacFs::new();
+
+    // --- Scattered project material, as the paper describes ------------
+    // Notes.
+    fs.mkdir_p(&p("/home/udi/notes"))?;
+    fs.save(
+        &p("/home/udi/notes/ideas.txt"),
+        b"fingerprint indexing by ridge features",
+    )?;
+    fs.save(&p("/home/udi/notes/todo.txt"), b"buy coffee, call dentist")?;
+    // Email (the mail transducer indexes From:/Subject: as fields).
+    fs.mkdir_p(&p("/home/udi/mail"))?;
+    fs.save(
+        &p("/home/udi/mail/m1.eml"),
+        b"From: gopal@cs.arizona.edu\nSubject: fingerprint deadline\n\nThe camera-ready fingerprint paper is due Friday.\n",
+    )?;
+    fs.save(
+        &p("/home/udi/mail/m2.eml"),
+        b"From: dean@university.edu\nSubject: parking permits\n\nPermits expire next week.\n",
+    )?;
+    // Source code (the C transducer indexes includes and functions).
+    fs.mkdir_p(&p("/home/udi/src"))?;
+    fs.save(
+        &p("/home/udi/src/match.c"),
+        b"#include \"fingerprint.h\"\nint match_fingerprint(int a, int b) {\n  return a ^ b;\n}\n",
+    )?;
+    fs.save(
+        &p("/home/udi/src/util.c"),
+        b"#include <stdio.h>\nint log_message(int level) {\n  return level;\n}\n",
+    )?;
+    fs.ssync(&p("/"))?;
+
+    // --- One semantic directory gathers everything ---------------------
+    fs.smkdir(&p("/home/udi/fingerprint"), "fingerprint")?;
+    ls(&fs, "/home/udi/fingerprint");
+
+    // --- A remote digital library, mounted semantically (§3) -----------
+    let library = Arc::new(WebSearchSim::new("digital-library"));
+    library.publish(
+        "osdi99/hac",
+        "HAC paper",
+        b"integrating content based access with hierarchical file systems fingerprint example",
+    );
+    library.publish(
+        "sigmod/join",
+        "Join survey",
+        b"hash join sort merge join survey",
+    );
+    library.publish(
+        "tpami/minutiae",
+        "Minutiae",
+        b"fingerprint minutiae detection evaluation",
+    );
+    fs.mkdir_p(&p("/home/udi/lib"))?;
+    fs.smount(&p("/home/udi/lib"), library)?;
+
+    // Re-evaluating the query now also imports remote results.
+    fs.set_query(&p("/home/udi/fingerprint"), "fingerprint")?;
+    println!("after mounting the digital library:");
+    ls(&fs, "/home/udi/fingerprint");
+
+    // --- Tune the result by hand (§2.3) ---------------------------------
+    // The dentist note is irrelevant — it never matched. But suppose the
+    // minutiae paper is not: delete it; HAC prohibits it.
+    fs.unlink(&p("/home/udi/fingerprint/Minutiae"))?;
+    // And a file HAC missed is added permanently.
+    fs.symlink(
+        &p("/home/udi/fingerprint/todo"),
+        &p("/home/udi/notes/todo.txt"),
+    )?;
+    fs.ssync(&p("/"))?;
+    println!("after manual tuning (minutiae rejected, todo pinned) + ssync:");
+    ls(&fs, "/home/udi/fingerprint");
+
+    // --- Query refinement in the hierarchy (§2.3) -----------------------
+    // Children refine the *edited* result, not the raw query.
+    fs.smkdir(&p("/home/udi/fingerprint/mail"), "from:gopal")?;
+    println!("refinement: only project mail from gopal, within the curated set:");
+    ls(&fs, "/home/udi/fingerprint/mail");
+
+    // --- Combining browsing and searching (§2.5) -------------------------
+    fs.smkdir(
+        &p("/home/udi/deadline-items"),
+        "deadline AND path(/home/udi/fingerprint)",
+    )?;
+    println!("query over another directory's curated results:");
+    ls(&fs, "/home/udi/deadline-items");
+
+    // Renaming the referenced directory does not break the query.
+    fs.rename(&p("/home/udi/fingerprint"), &p("/home/udi/fp-project"))?;
+    println!(
+        "after renaming the directory, the dependent query reads: {}",
+        fs.get_query(&p("/home/udi/deadline-items"))?
+    );
+
+    // `sact` pulls the matching content out of a link.
+    for line in fs.sact(&p("/home/udi/fp-project/m1.eml"))? {
+        println!("sact: {line}");
+    }
+    Ok(())
+}

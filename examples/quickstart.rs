@@ -1,0 +1,69 @@
+//! Quickstart: create files, index them, and browse by content.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hac::prelude::*;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+fn main() -> HacResult<()> {
+    // A HAC file system is an ordinary hierarchical namespace…
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/home/user/notes"))?;
+    fs.save(
+        &p("/home/user/notes/fp1.txt"),
+        b"fingerprint minutiae extraction pipeline",
+    )?;
+    fs.save(
+        &p("/home/user/notes/fp2.txt"),
+        b"ridge counting for fingerprint matching",
+    )?;
+    fs.save(&p("/home/user/notes/shopping.txt"), b"milk eggs flour")?;
+
+    // …whose content becomes searchable after an index pass (data
+    // consistency in HAC is lazy, §2.4 of the paper).
+    let report = fs.ssync(&p("/"))?;
+    println!("indexed: {} files added", report.added);
+
+    // A *semantic directory* carries a query; HAC fills it with symbolic
+    // links to every in-scope match.
+    fs.smkdir(&p("/home/user/fingerprint"), "fingerprint")?;
+    println!("\n$ ls /home/user/fingerprint");
+    for entry in fs.readdir(&p("/home/user/fingerprint"))? {
+        let link = format!("/home/user/fingerprint/{}", entry.name);
+        println!("  {} -> {}", entry.name, fs.readlink(&p(&link))?);
+    }
+
+    // It is still a completely ordinary directory: edit it.
+    fs.unlink(&p("/home/user/fingerprint/fp2.txt"))?; // reject a result
+    fs.symlink(
+        &p("/home/user/fingerprint/list"),
+        &p("/home/user/notes/shopping.txt"),
+    )?; // add one
+
+    // Reindexing respects the edits: fp2 is prohibited, list is permanent.
+    fs.ssync(&p("/"))?;
+    println!("\n$ ls /home/user/fingerprint   (after editing + ssync)");
+    for entry in fs.readdir(&p("/home/user/fingerprint"))? {
+        println!("  {}", entry.name);
+    }
+
+    // `sact` extracts the matching lines behind a link.
+    let lines = fs.sact(&p("/home/user/fingerprint/fp1.txt"))?;
+    println!("\nmatching lines in fp1.txt: {lines:?}");
+
+    // The query itself is first-class: read it, change it.
+    println!("\nquery: {}", fs.get_query(&p("/home/user/fingerprint"))?);
+    fs.set_query(&p("/home/user/fingerprint"), "fingerprint AND NOT counting")?;
+    println!(
+        "narrowed query: {}",
+        fs.get_query(&p("/home/user/fingerprint"))?
+    );
+    println!("\n$ ls /home/user/fingerprint   (after narrowing)");
+    for entry in fs.readdir(&p("/home/user/fingerprint"))? {
+        println!("  {}", entry.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Semantic mount points over three kinds of remote name space (§3).
+//!
+//! Mounts a simulated web search engine, a flat file server, and a
+//! colleague's exported HAC file system onto one multiple semantic mount
+//! point, builds a personal classification of the union, and shows the
+//! failure behaviour when a remote goes down.
+//!
+//! Run with: `cargo run --example remote_library`
+
+use std::sync::Arc;
+
+use hac::prelude::*;
+use hac_remote::FailurePolicy;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+fn ls(fs: &HacFs, dir: &str) {
+    println!("$ ls {dir}");
+    for e in fs.readdir(&p(dir)).unwrap_or_default() {
+        println!("  {}", e.name);
+    }
+    println!();
+}
+
+fn main() -> HacResult<()> {
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/home/me/library"))?;
+
+    // Remote 1: a web search engine.
+    let web = Arc::new(WebSearchSim::new("web"));
+    web.publish(
+        "acm/hac99",
+        "HAC OSDI paper",
+        b"semantic file system hierarchy content access",
+    );
+    web.publish(
+        "acm/glimpse",
+        "Glimpse paper",
+        b"glimpse indexing word search tool",
+    );
+    web.publish("blog/pasta", "Pasta blog", b"carbonara recipe");
+
+    // Remote 2: a flat file server (no hierarchy, no symlinks).
+    let flat = Arc::new(FlatFileServer::new("fileserver"));
+    flat.put(
+        "scan-notes",
+        b"scanned notes on semantic directories and queries",
+    );
+    flat.put("meeting-log", b"weekly meeting log");
+
+    // Remote 3: a colleague's HAC export — including a directory they
+    // curated by hand.
+    let colleague_fs = Arc::new(HacFs::new());
+    colleague_fs.mkdir_p(&p("/pub"))?;
+    colleague_fs.save(
+        &p("/pub/reading.txt"),
+        b"reading list semantic file systems survey",
+    )?;
+    colleague_fs.save(&p("/pub/gossip.txt"), b"hallway gossip")?;
+    colleague_fs.ssync(&p("/"))?;
+    let colleague = Arc::new(RemoteHac::new("colleague", colleague_fs, p("/pub")));
+
+    // One *multiple semantic mount point* carries all three (§3.2): "the
+    // scope of queries asked within a multiple semantic mount point is
+    // simply a union of the scope provided by each mounted name space."
+    fs.smount(&p("/home/me/library"), web.clone())?;
+    fs.smount(&p("/home/me/library"), flat)?;
+    fs.smount(&p("/home/me/library"), colleague)?;
+    println!("mounted: {:?}\n", fs.mounts_at(&p("/home/me/library"))?);
+
+    // A personal classification across every mounted name space at once.
+    fs.smkdir(&p("/home/me/semantic-fs"), "semantic")?;
+    ls(&fs, "/home/me/semantic-fs");
+
+    // Remote links behave like local ones: fetch content, refine, prune.
+    for e in fs.readdir(&p("/home/me/semantic-fs"))? {
+        let body = fs.fetch_link(&p(&format!("/home/me/semantic-fs/{}", e.name)))?;
+        println!("  {} = {} bytes", e.name, body.len());
+    }
+
+    // Refinement of imported results in a child directory.
+    fs.smkdir(&p("/home/me/semantic-fs/fs-papers"), "file OR survey")?;
+    println!();
+    ls(&fs, "/home/me/semantic-fs/fs-papers");
+
+    // Prune one imported result; it stays out (prohibited), even across
+    // reindexing.
+    let first = fs.readdir(&p("/home/me/semantic-fs"))?.remove(0);
+    fs.unlink(&p(&format!("/home/me/semantic-fs/{}", first.name)))?;
+    fs.ssync(&p("/"))?;
+    println!("pruned {:?}; it stayed out after ssync\n", first.name);
+
+    // Failure behaviour: when the web engine goes down, previously imported
+    // results are kept rather than dropped.
+    let before = fs.readdir(&p("/home/me/semantic-fs"))?.len();
+    web.set_failure_policy(FailurePolicy::AlwaysDown);
+    fs.ssync(&p("/"))?;
+    let during = fs.readdir(&p("/home/me/semantic-fs"))?.len();
+    web.set_failure_policy(FailurePolicy::None);
+    fs.ssync(&p("/"))?;
+    let after = fs.readdir(&p("/home/me/semantic-fs"))?.len();
+    println!("links before outage: {before}, during outage: {during}, after recovery: {after}");
+    assert_eq!(before, during);
+
+    // Unmount one namespace: its transient imports withdraw.
+    fs.sunmount(&p("/home/me/library"), Some(&NamespaceId("web".into())))?;
+    fs.ssync(&p("/"))?;
+    println!("\nafter unmounting the web engine:");
+    ls(&fs, "/home/me/semantic-fs");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Driving HAC through the `hacsh` shell API: the paper's §4 command suite
+//! (`smkdir`, `ssync`, `sact`, `chquery`, …) as a scripted session.
+//!
+//! Run with: `cargo run --example shell_scripted`
+//! (For an interactive session: `cargo run -p hac-shell --bin hacsh -- --demo`)
+
+use hac_shell::Shell;
+
+fn main() {
+    let mut sh = Shell::new();
+    let script = [
+        "mkdir -p /home/udi/notes",
+        "write /home/udi/notes/ideas.txt fingerprint indexing by ridge features",
+        "write /home/udi/notes/todo.txt call dentist buy coffee",
+        "write /home/udi/notes/paper.txt semantic file system draft fingerprint example",
+        "ssync",
+        "smkdir /home/udi/fp fingerprint",
+        "ls -l /home/udi/fp",
+        "query /home/udi/fp",
+        // Tune the result: reject the draft, pin the todo list.
+        "rm /home/udi/fp/paper.txt",
+        "ln /home/udi/notes/todo.txt /home/udi/fp/todo",
+        "ssync",
+        "links /home/udi/fp",
+        "prohibited /home/udi/fp",
+        // Prefix queries work everywhere the query language does.
+        "find finger*",
+        // Refinement via a directory reference.
+        "smkdir /ridge-items ridge AND path(/home/udi/fp)",
+        "ls /ridge-items",
+        "sact /home/udi/fp/ideas.txt",
+        "stats",
+    ];
+    for line in script {
+        println!("$ {line}");
+        match sh.exec(line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # hac — Hierarchy And Content
+//!
+//! A reproduction of *Integrating Content-Based Access Mechanisms with
+//! Hierarchical File Systems* (Burra Gopal and Udi Manber, OSDI 1999): a
+//! file system that is a full hierarchical namespace **and** a
+//! content-addressed one at the same time.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`core`] — the HAC layer: semantic directories, scope
+//!   consistency, dependency graph, semantic mount points;
+//! * [`vfs`] — the hierarchical file-system substrate;
+//! * [`index`] — the Glimpse-like content index;
+//! * [`query`] — the query language;
+//! * [`remote`] — simulated remote name spaces;
+//! * [`corpus`] — deterministic workload generators.
+//!
+//! ```
+//! use hac::prelude::*;
+//!
+//! let fs = HacFs::new();
+//! let p = |s: &str| VPath::parse(s).unwrap();
+//! fs.mkdir_p(&p("/notes")).unwrap();
+//! fs.save(&p("/notes/fp.txt"), b"fingerprint ridge analysis").unwrap();
+//! fs.ssync(&p("/")).unwrap();
+//! fs.smkdir(&p("/fp"), "fingerprint").unwrap();
+//! assert_eq!(fs.readdir(&p("/fp")).unwrap().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hac_core as core;
+pub use hac_corpus as corpus;
+pub use hac_index as index;
+pub use hac_query as query;
+pub use hac_remote as remote;
+pub use hac_vfs as vfs;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use hac_core::{
+        HacConfig, HacError, HacFs, HacResult, LinkKind, LinkTarget, NamespaceId, ReindexDaemon,
+        RemoteQuerySystem, SyncReport,
+    };
+    pub use hac_index::{Bitmap, ContentExpr, DocId, Granularity};
+    pub use hac_query::{parse, Query};
+    pub use hac_remote::{FlatFileServer, RemoteHac, WebSearchSim};
+    pub use hac_vfs::{VPath, Vfs};
+}

@@ -1,0 +1,333 @@
+//! Cross-crate integration tests: generators → HAC → index → remotes.
+
+use std::sync::Arc;
+
+use hac::prelude::*;
+use hac_corpus::{
+    generate_docs, generate_mailbox, generate_source_tree, generate_trace, term_for_selectivity,
+    DocCollectionSpec, MailboxSpec, Selectivity, SourceTreeSpec, TraceOp, TraceSpec,
+};
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+#[test]
+fn document_collection_end_to_end() {
+    let fs = HacFs::new();
+    let spec = DocCollectionSpec {
+        files: 150,
+        ..Default::default()
+    };
+    let col = generate_docs(fs.vfs(), &p("/db"), &spec).unwrap();
+    let report = fs.ssync(&p("/")).unwrap();
+    assert_eq!(report.added, 150);
+    assert_eq!(fs.index_stats().docs, 150);
+
+    // Three selectivity classes behave as designed.
+    let many = fs
+        .search(&p("/db"), &term_for_selectivity(&spec, Selectivity::Many))
+        .unwrap();
+    let mid = fs
+        .search(
+            &p("/db"),
+            &term_for_selectivity(&spec, Selectivity::Intermediate),
+        )
+        .unwrap();
+    let few = fs
+        .search(&p("/db"), &term_for_selectivity(&spec, Selectivity::Few))
+        .unwrap();
+    assert!(many.len() > mid.len());
+    assert!(mid.len() >= few.len());
+    assert!(many.len() > col.files.len() / 2);
+
+    // A semantic directory over the frequent term links most of the corpus.
+    fs.smkdir(&p("/hot"), &term_for_selectivity(&spec, Selectivity::Many))
+        .unwrap();
+    assert_eq!(fs.readdir(&p("/hot")).unwrap().len(), many.len());
+}
+
+#[test]
+fn mailbox_with_field_queries() {
+    let fs = HacFs::new();
+    let metas = generate_mailbox(
+        fs.vfs(),
+        &p("/mail"),
+        &MailboxSpec {
+            messages: 90,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    fs.ssync(&p("/")).unwrap();
+
+    let alice_count = metas.iter().filter(|m| m.from == "alice").count();
+    fs.smkdir(&p("/from-alice"), "from:alice").unwrap();
+    assert_eq!(fs.readdir(&p("/from-alice")).unwrap().len(), alice_count);
+
+    // Combination folder ⊆ both single-key folders.
+    fs.smkdir(&p("/alice-fp"), "from:alice AND subject:fingerprint")
+        .unwrap();
+    let both = fs.readdir(&p("/alice-fp")).unwrap().len();
+    let expected = metas
+        .iter()
+        .filter(|m| m.from == "alice" && m.topic == "fingerprint")
+        .count();
+    assert_eq!(both, expected);
+}
+
+#[test]
+fn source_tree_with_code_transducer() {
+    let fs = HacFs::new();
+    let tree = generate_source_tree(fs.vfs(), &p("/src"), &SourceTreeSpec::default()).unwrap();
+    fs.ssync(&p("/")).unwrap();
+
+    // Every module's files include its own header; the include field finds
+    // them.
+    fs.smkdir(&p("/uses-mod00"), "include:mod00.h").unwrap();
+    let hits = fs.readdir(&p("/uses-mod00")).unwrap();
+    assert_eq!(hits.len(), SourceTreeSpec::default().files_per_module);
+
+    // stdio users span every module.
+    fs.smkdir(&p("/uses-stdio"), "include:stdio.h").unwrap();
+    let stdio = fs.readdir(&p("/uses-stdio")).unwrap().len();
+    let spec = SourceTreeSpec::default();
+    assert_eq!(stdio, spec.modules * spec.files_per_module);
+    assert!(tree.files.len() > stdio);
+}
+
+#[test]
+fn two_hop_remote_classification() {
+    // Colleague A curates a semantic directory over their corpus.
+    let a = Arc::new(HacFs::new());
+    a.mkdir_p(&p("/pub")).unwrap();
+    a.save(
+        &p("/pub/fp-survey.txt"),
+        b"fingerprint survey of matching methods",
+    )
+    .unwrap();
+    a.save(&p("/pub/fp-weird.txt"), b"fingerprint numerology nonsense")
+        .unwrap();
+    a.save(&p("/pub/cooking.txt"), b"stew recipe").unwrap();
+    a.ssync(&p("/")).unwrap();
+    a.smkdir(&p("/pub/good-fp"), "fingerprint").unwrap();
+    // A rejects the nonsense result by hand.
+    a.unlink(&p("/pub/good-fp/fp-weird.txt")).unwrap();
+
+    // User B mounts A's *curated* directory and builds on it.
+    let b = HacFs::new();
+    b.mkdir_p(&p("/colleagues/a")).unwrap();
+    b.smount(
+        &p("/colleagues/a"),
+        Arc::new(RemoteHac::new(
+            "a-export",
+            Arc::clone(&a),
+            p("/pub/good-fp"),
+        )),
+    )
+    .unwrap();
+    b.smkdir(&p("/fp"), "fingerprint").unwrap();
+    let names: Vec<String> = b
+        .readdir(&p("/fp"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    // Only the survey survives: A's curation propagated to B.
+    assert_eq!(names, vec!["fp-survey.txt"]);
+
+    // B reads the remote content through the link.
+    let body = b.fetch_link(&p("/fp/fp-survey.txt")).unwrap();
+    assert_eq!(body, b"fingerprint survey of matching methods".to_vec());
+}
+
+#[test]
+fn snapshot_restore_then_reindex() {
+    let fs = HacFs::new();
+    generate_docs(
+        fs.vfs(),
+        &p("/db"),
+        &DocCollectionSpec {
+            files: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    fs.ssync(&p("/")).unwrap();
+    let bytes = hac_vfs::persist::snapshot(fs.vfs()).unwrap();
+
+    // Restore into a fresh HAC instance; the index is rebuilt from the
+    // restored namespace (HAC metadata is runtime state).
+    let restored = HacFs::new();
+    hac_vfs::persist::restore(restored.vfs(), &bytes).unwrap();
+    let report = restored.ssync(&p("/")).unwrap();
+    assert_eq!(report.added, 40);
+    assert_eq!(restored.index_stats().docs, fs.index_stats().docs);
+}
+
+#[test]
+fn trace_replay_keeps_hac_consistent() {
+    let fs = HacFs::new();
+    // Two semantic dirs watching the trace area.
+    for op in generate_trace(&TraceSpec {
+        ops: 150,
+        ..Default::default()
+    }) {
+        let _ = match op {
+            TraceOp::Mkdir(path) => fs.mkdir(&path).map(|_| ()),
+            TraceOp::Save(path, text) => fs.save(&path, text.as_bytes()).map(|_| ()),
+            TraceOp::Unlink(path) => fs.unlink(&path),
+            TraceOp::Rename(a, b) => fs.rename(&a, &b),
+            TraceOp::Read(path) => fs.read_file(&path).map(|_| ()),
+        };
+    }
+    fs.ssync(&p("/")).unwrap();
+    fs.smkdir(&p("/watch"), "*").unwrap();
+    let linked = fs.readdir(&p("/watch")).unwrap().len() as u64;
+    assert_eq!(
+        linked,
+        fs.index_stats().docs,
+        "watch-all links every live indexed file"
+    );
+
+    // More trace activity, then sync: still consistent and idempotent.
+    for op in generate_trace(&TraceSpec {
+        ops: 80,
+        seed: 99,
+        ..Default::default()
+    }) {
+        let _ = match op {
+            TraceOp::Mkdir(path) => fs.mkdir(&path).map(|_| ()),
+            TraceOp::Save(path, text) => fs.save(&path, text.as_bytes()).map(|_| ()),
+            TraceOp::Unlink(path) => fs.unlink(&path),
+            TraceOp::Rename(a, b) => fs.rename(&a, &b),
+            TraceOp::Read(path) => fs.read_file(&path).map(|_| ()),
+        };
+    }
+    fs.ssync(&p("/")).unwrap();
+    let linked = fs.readdir(&p("/watch")).unwrap().len() as u64;
+    assert_eq!(linked, fs.index_stats().docs);
+    let again = fs.ssync(&p("/")).unwrap();
+    assert_eq!((again.added, again.updated, again.removed), (0, 0, 0));
+}
+
+#[test]
+fn semantic_folders_under_plain_directories_see_the_world() {
+    // Regression test for the scope-transparency decision (DESIGN.md §5.1).
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/data/deep/corner")).unwrap();
+    fs.save(&p("/data/deep/corner/x.txt"), b"quasar light curves")
+        .unwrap();
+    fs.ssync(&p("/")).unwrap();
+    fs.mkdir_p(&p("/home/me/folders/astro")).unwrap();
+    fs.smkdir(&p("/home/me/folders/astro/quasars"), "quasar")
+        .unwrap();
+    assert_eq!(
+        fs.readdir(&p("/home/me/folders/astro/quasars"))
+            .unwrap()
+            .len(),
+        1
+    );
+
+    // But an explicit path() reference means the subtree closure: /data
+    // physically holds the file, an unrelated empty area does not. (Note
+    // that link *targets* count — referencing /home/me/folders would also
+    // find x.txt through the quasars folder's link, by design.)
+    fs.smkdir(&p("/only-data"), "quasar AND path(/data)")
+        .unwrap();
+    assert_eq!(fs.readdir(&p("/only-data")).unwrap().len(), 1);
+    fs.mkdir_p(&p("/home/me/empty-area")).unwrap();
+    fs.smkdir(&p("/nothing-there"), "quasar AND path(/home/me/empty-area)")
+        .unwrap();
+    assert_eq!(
+        fs.readdir(&p("/nothing-there"))
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind != hac_vfs::NodeKind::Dir)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn daemon_keeps_folders_fresh() {
+    let fs = Arc::new(HacFs::new());
+    fs.mkdir(&p("/in")).unwrap();
+    fs.save(&p("/in/a.txt"), b"gravitational waves").unwrap();
+    fs.ssync(&p("/")).unwrap();
+    fs.smkdir(&p("/gw"), "gravitational").unwrap();
+    assert_eq!(fs.readdir(&p("/gw")).unwrap().len(), 1);
+
+    let daemon = ReindexDaemon::spawn(Arc::clone(&fs), std::time::Duration::from_millis(10));
+    fs.save(&p("/in/b.txt"), b"more gravitational wave detections")
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while fs.readdir(&p("/gw")).unwrap().len() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never refiled the folder"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    daemon.stop();
+}
+
+#[test]
+fn prelude_parse_and_manual_query_evaluation() {
+    // The query crate is usable standalone through the facade.
+    let q = parse("alpha AND NOT beta").unwrap();
+    assert_eq!(q.display_with(|_| None), "(alpha AND NOT beta)");
+    let fs = HacFs::new();
+    fs.save(&p("/a.txt"), b"alpha only").unwrap();
+    fs.save(&p("/b.txt"), b"alpha beta both").unwrap();
+    fs.ssync(&p("/")).unwrap();
+    let hits = fs.search(&p("/"), "alpha AND NOT beta").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].to_string(), "/a.txt");
+}
+
+#[test]
+fn prefix_and_metadata_attributes_compose_through_the_facade() {
+    let fs = HacFs::new();
+    fs.mkdir(&p("/docs")).unwrap();
+    fs.save(
+        &p("/docs/fingerprint-survey.txt"),
+        b"matching methods overview",
+    )
+    .unwrap();
+    fs.save(&p("/docs/fingers.md"), b"piano exercise plan")
+        .unwrap();
+    fs.save(&p("/docs/toes.txt"), b"unrelated entirely")
+        .unwrap();
+    fs.ssync(&p("/")).unwrap();
+
+    // Prefix over content and name attributes in one query.
+    fs.smkdir(&p("/f-things"), "finger* OR name:fingers")
+        .unwrap();
+    let listing: Vec<String> = fs
+        .readdir(&p("/f-things"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    // "finger*" matches nothing in content (no word starts with finger in
+    // the bodies), but name:fingers matches fingers.md; widen via ext.
+    assert_eq!(listing, vec!["fingers.md"]);
+
+    fs.set_query(&p("/f-things"), "name:fingerprint OR ext:md")
+        .unwrap();
+    let listing: Vec<String> = fs
+        .readdir(&p("/f-things"))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(listing, vec!["fingerprint-survey.txt", "fingers.md"]);
+
+    // Explained search agrees with the directory result.
+    let (hits, stats) = fs
+        .search_explained(&p("/"), "name:fingerprint OR ext:md")
+        .unwrap();
+    assert_eq!(hits.len(), 2);
+    assert!(stats.verified >= stats.false_positives);
+}

@@ -1,0 +1,144 @@
+//! A walkthrough of the paper's claims, section by section, as one
+//! executable narrative. Each block quotes the claim it asserts.
+
+use std::sync::Arc;
+
+use hac::prelude::*;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+fn names(fs: &HacFs, dir: &str) -> Vec<String> {
+    fs.readdir(&p(dir))
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect()
+}
+
+#[test]
+fn the_paper_end_to_end() {
+    // ---- §1: "a new file system that combines name-based and
+    // content-based access to files at the same time."
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/home/udi/notes")).unwrap();
+    fs.mkdir_p(&p("/home/udi/mail")).unwrap();
+    fs.save(
+        &p("/home/udi/notes/alg.txt"),
+        b"fingerprint matching algorithm",
+    )
+    .unwrap();
+    fs.save(
+        &p("/home/udi/mail/m1.eml"),
+        b"From: gopal@cs.arizona.edu\nSubject: fingerprint deadline\n\nDraft due Friday.\n",
+    )
+    .unwrap();
+    fs.save(
+        &p("/home/udi/mail/m2.eml"),
+        b"From: dean@univ.edu\nSubject: parking\n\nPermits.\n",
+    )
+    .unwrap();
+    fs.ssync(&p("/")).unwrap();
+    // Name-based access works untouched…
+    assert!(fs.read_file(&p("/home/udi/notes/alg.txt")).is_ok());
+    // …and content-based access over the same namespace.
+    assert_eq!(fs.search(&p("/"), "fingerprint").unwrap().len(), 2);
+
+    // ---- §2.2: "users can create new files within" semantic directories,
+    // unlike SFS's virtual directories.
+    fs.smkdir(&p("/fp"), "fingerprint").unwrap();
+    fs.save(&p("/fp/scratch.txt"), b"working notes").unwrap();
+    assert!(names(&fs, "/fp").contains(&"scratch.txt".to_string()));
+
+    // ---- §2.3: the three link classes and their guarantees.
+    // (i) "deleting some irrelevant links returned by the query":
+    fs.unlink(&p("/fp/m1.eml")).unwrap();
+    // (ii) "creating new links to files … missed by the query":
+    fs.symlink(&p("/fp/parking"), &p("/home/udi/mail/m2.eml"))
+        .unwrap();
+    // Reindexing "will not … implicitly add" the prohibited link, and
+    // never removes the permanent one.
+    fs.reindex_full().unwrap();
+    let listing = names(&fs, "/fp");
+    assert!(
+        !listing.contains(&"m1.eml".to_string()),
+        "prohibited stayed out"
+    );
+    assert!(
+        listing.contains(&"parking".to_string()),
+        "permanent stayed in"
+    );
+
+    // "The set of transient symbolic links in sd is always a subset of the
+    // scope provided by its parent":
+    fs.smkdir(&p("/fp/mail"), "from:gopal OR from:dean")
+        .unwrap();
+    let parent_scope = fs.scope_of(&p("/fp")).unwrap();
+    for doc in fs.result_bitmap(&p("/fp/mail")).unwrap().ids() {
+        assert!(parent_scope.local.contains(doc));
+    }
+    // m1 was prohibited in the parent, so the child cannot see it either
+    // (scope refinement): only the parking mail is in both.
+    assert_eq!(names(&fs, "/fp/mail"), vec!["m2.eml"]);
+
+    // ---- §2.4: "HAC does not remove data-inconsistencies instantly".
+    fs.save(&p("/home/udi/notes/new.txt"), b"another fingerprint study")
+        .unwrap();
+    assert!(
+        !names(&fs, "/fp").contains(&"new.txt".to_string()),
+        "lazy until reindex"
+    );
+    fs.ssync(&p("/")).unwrap();
+    assert!(names(&fs, "/fp").contains(&"new.txt".to_string()));
+
+    // ---- §2.5: queries over existing results, rename-stable.
+    fs.smkdir(&p("/deadlines"), "deadline AND path(/fp)")
+        .unwrap();
+    assert!(!names(&fs, "/deadlines").iter().any(|n| n.contains("m1")));
+    fs.rename(&p("/fp"), &p("/fingerprint-project")).unwrap();
+    assert_eq!(
+        fs.get_query(&p("/deadlines")).unwrap(),
+        "(deadline AND path(/fingerprint-project))",
+        "the global map keeps queries valid across renames"
+    );
+    // "We do not allow cycles to exist in this graph".
+    assert!(matches!(
+        fs.set_query(&p("/fingerprint-project"), "x AND path(/deadlines)"),
+        Err(HacError::CycleDetected { .. })
+    ));
+
+    // ---- §3: semantic mount points.
+    let library = Arc::new(WebSearchSim::new("library"));
+    library.publish("lib/fp1", "FP survey", b"fingerprint verification survey");
+    library.publish("lib/cook", "Cooking", b"pasta recipe");
+    fs.mkdir_p(&p("/lib")).unwrap();
+    fs.smount(&p("/lib"), library).unwrap();
+    fs.set_query(&p("/fingerprint-project"), "fingerprint")
+        .unwrap();
+    let listing = names(&fs, "/fingerprint-project");
+    assert!(
+        listing.iter().any(|n| n.contains("FP_survey")),
+        "{listing:?}"
+    );
+    // "users can create their own personal content-based classification of
+    // remote information" — and edit it like anything else.
+    let remote_link = listing
+        .iter()
+        .find(|n| n.contains("FP_survey"))
+        .unwrap()
+        .clone();
+    let content = fs
+        .fetch_link(&p(&format!("/fingerprint-project/{remote_link}")))
+        .unwrap();
+    assert_eq!(content, b"fingerprint verification survey".to_vec());
+
+    // ---- §4: the per-directory compact result representation is N/8.
+    let bitmap = fs.result_bitmap(&p("/fingerprint-project")).unwrap();
+    let n = fs.index_stats().docs;
+    assert!(
+        bitmap.bytes() <= (n / 8 + 8) && bitmap.bytes() >= n / 8 / 8,
+        "bytes {} for N={n}",
+        bitmap.bytes()
+    );
+}
