@@ -141,4 +141,6 @@ fn main() {
             ],
         ],
     );
+
+    hac_bench::report_metrics_snapshot("all_tables");
 }

@@ -54,4 +54,6 @@ fn main() {
         "\nshape: HAC's per-directory structures add a few percent of namespace\n\
 metadata; per-process state is tens of KB; result bitmaps are N/8 bytes"
     );
+
+    hac_bench::report_metrics_snapshot("overheads");
 }

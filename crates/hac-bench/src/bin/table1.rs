@@ -30,4 +30,6 @@ fn main() {
         t1.slowdown_percent()
     );
     println!("paper's shape: overhead concentrated in Makedir/Copy, smallest in Make");
+
+    hac_bench::report_metrics_snapshot("table1");
 }

@@ -41,4 +41,6 @@ fn main() {
         "\npaper's shape: all three user-level layers cost tens of percent;\n\
 HAC is the most expensive because it also maintains content-access metadata"
     );
+
+    hac_bench::report_metrics_snapshot("table2");
 }

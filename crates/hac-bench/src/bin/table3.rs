@@ -41,4 +41,6 @@ fn main() {
         t3.time_overhead_percent(),
         t3.space_overhead_percent()
     );
+
+    hac_bench::report_metrics_snapshot("table3");
 }

@@ -57,4 +57,6 @@ few files (>4x) and falls as matches grow (15% intermediate, 2% many).\n\
 The exact-index mode reproduces that shape; in block mode candidate\n\
 verification dominates both sides and the ratio flattens (see EXPERIMENTS.md)."
     );
+
+    hac_bench::report_metrics_snapshot("table4");
 }

@@ -38,6 +38,39 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))
 }
 
+/// Parses `--name value` from the command line as a string.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == format!("--{name}") {
+            return Some(window[1].clone());
+        }
+    }
+    None
+}
+
+/// Writes a JSON snapshot of the global hac-obs metrics registry alongside
+/// the table output, so a bench run leaves a machine-readable record of
+/// the work it did (passes, query latencies, postings scanned, …).
+/// The path comes from `--metrics-out <path>`, defaulting to
+/// `hac_metrics_<bin>.json` in the working directory.
+pub fn dump_metrics_snapshot(bin: &str) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(
+        arg_str("metrics-out").unwrap_or_else(|| format!("hac_metrics_{bin}.json")),
+    );
+    std::fs::write(&path, hac_obs::snapshot().to_json())?;
+    Ok(path)
+}
+
+/// Calls [`dump_metrics_snapshot`] and reports the result on stdout/stderr
+/// (shared tail of every bench binary).
+pub fn report_metrics_snapshot(bin: &str) {
+    match dump_metrics_snapshot(bin) {
+        Ok(path) => println!("\nmetrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("\nmetrics snapshot failed: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -407,7 +407,7 @@ pub fn run_overheads(tree: &SourceTreeSpec, docs: &DocCollectionSpec) -> Overhea
     for i in 0..16 {
         let _ = hac.0.vfs().open(
             pid,
-            &p(&format!("/dest/a.out")),
+            &p("/dest/a.out"),
             hac_vfs::OpenMode::Read,
             hac_vfs::CreatePolicy::MustExist,
         );

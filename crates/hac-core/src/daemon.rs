@@ -6,40 +6,91 @@
 //! thread until dropped or stopped. Intervals are wall-clock here (the only
 //! place real time appears in the system); tests use
 //! [`ReindexDaemon::tick_now`] for determinism.
+//!
+//! A failing pass must not kill the daemon — the next tick retries — but
+//! it is not silent either: failed passes are counted in
+//! `hac_reindex_passes_total{outcome="failed"}`, the failing pass number is
+//! kept in the `hac_reindex_last_error_pass` gauge, and the error text is
+//! retained in the [`DaemonStatus`] visible through
+//! [`ReindexDaemon::status`] and returned by [`ReindexDaemon::stop`].
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
 
 use hac_vfs::VPath;
 
 use crate::fs::HacFs;
 use crate::state::SyncReport;
 
+/// Pass accounting for a (possibly still running) daemon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonStatus {
+    /// Passes that completed successfully.
+    pub ok_passes: u64,
+    /// Passes that returned an error (retried on the next tick).
+    pub failed_passes: u64,
+    /// Error text of the most recent failed pass, if any.
+    pub last_error: Option<String>,
+}
+
+impl DaemonStatus {
+    /// Total passes attempted.
+    pub fn total_passes(&self) -> u64 {
+        self.ok_passes + self.failed_passes
+    }
+}
+
 /// Handle to a running periodic reindexer.
 pub struct ReindexDaemon {
     stop: Sender<()>,
-    handle: Option<JoinHandle<u64>>,
+    handle: Option<JoinHandle<()>>,
+    status: Arc<Mutex<DaemonStatus>>,
 }
 
 impl ReindexDaemon {
     /// Spawns a daemon that calls `fs.ssync("/")` every `interval`.
     pub fn spawn(fs: Arc<HacFs>, interval: Duration) -> Self {
+        Self::spawn_with(fs, interval, |fs| fs.ssync(&VPath::root()).map(|_| ()))
+    }
+
+    /// Spawns a daemon running an arbitrary tick function every `interval`
+    /// (the seam tests use to observe how failing passes are handled).
+    pub fn spawn_with<F>(fs: Arc<HacFs>, interval: Duration, tick: F) -> Self
+    where
+        F: Fn(&HacFs) -> crate::error::HacResult<()> + Send + 'static,
+    {
         let (stop_tx, stop_rx) = bounded::<()>(1);
-        let handle = std::thread::spawn(move || {
-            let mut passes = 0u64;
-            loop {
-                match stop_rx.recv_timeout(interval) {
-                    Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                        return passes
-                    }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        // A failing pass must not kill the daemon; the next
-                        // tick retries.
-                        if fs.ssync(&VPath::root()).is_ok() {
-                            passes += 1;
+        let status = Arc::new(Mutex::new(DaemonStatus::default()));
+        let thread_status = Arc::clone(&status);
+        let handle = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    let result = tick(&fs);
+                    let mut status = thread_status.lock();
+                    match result {
+                        Ok(()) => {
+                            status.ok_passes += 1;
+                            hac_obs::counter("hac_reindex_passes_total", &[("outcome", "ok")])
+                                .inc();
+                        }
+                        Err(e) => {
+                            // Keep retrying on later ticks, but make the
+                            // failure observable instead of swallowing it.
+                            status.failed_passes += 1;
+                            status.last_error = Some(e.to_string());
+                            hac_obs::counter("hac_reindex_passes_total", &[("outcome", "failed")])
+                                .inc();
+                            hac_obs::gauge("hac_reindex_last_error_pass", &[])
+                                .set(status.total_passes() as i64);
+                            hac_obs::global().event(
+                                "reindex_pass_failed",
+                                vec![("error".to_string(), e.to_string())],
+                            );
                         }
                     }
                 }
@@ -48,6 +99,7 @@ impl ReindexDaemon {
         ReindexDaemon {
             stop: stop_tx,
             handle: Some(handle),
+            status,
         }
     }
 
@@ -57,13 +109,18 @@ impl ReindexDaemon {
         fs.ssync(&VPath::root())
     }
 
-    /// Stops the daemon and returns how many passes it completed.
-    pub fn stop(mut self) -> u64 {
+    /// Pass accounting so far, without stopping the daemon.
+    pub fn status(&self) -> DaemonStatus {
+        self.status.lock().clone()
+    }
+
+    /// Stops the daemon and returns its final pass accounting.
+    pub fn stop(mut self) -> DaemonStatus {
         let _ = self.stop.send(());
-        self.handle
-            .take()
-            .map(|h| h.join().unwrap_or(0))
-            .unwrap_or(0)
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.status.lock().clone()
     }
 }
 
@@ -96,8 +153,10 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(5));
         }
-        let passes = daemon.stop();
-        assert!(passes >= 1);
+        let status = daemon.stop();
+        assert!(status.ok_passes >= 1);
+        assert_eq!(status.failed_passes, 0);
+        assert_eq!(status.last_error, None);
     }
 
     #[test]
@@ -116,5 +175,44 @@ mod tests {
         let fs = Arc::new(HacFs::new());
         let daemon = ReindexDaemon::spawn(Arc::clone(&fs), Duration::from_millis(5));
         drop(daemon); // must not hang
+    }
+
+    #[test]
+    fn failing_pass_is_observed_and_daemon_survives() {
+        let before = hac_obs::snapshot()
+            .counter_value("hac_reindex_passes_total", &[("outcome", "failed")])
+            .unwrap_or(0);
+        let fs = Arc::new(HacFs::new());
+        let daemon = ReindexDaemon::spawn_with(Arc::clone(&fs), Duration::from_millis(5), |_| {
+            Err(crate::error::HacError::Remote(
+                crate::remote::RemoteError::Unavailable("boom".to_string()),
+            ))
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while daemon.status().failed_passes < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never reported failed passes"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let status = daemon.stop();
+        assert!(
+            status.failed_passes >= 2,
+            "retry must continue after a failure"
+        );
+        assert_eq!(status.ok_passes, 0);
+        let err = status.last_error.expect("last error retained");
+        assert!(err.contains("boom"), "unexpected error text: {err}");
+        let after = hac_obs::snapshot()
+            .counter_value("hac_reindex_passes_total", &[("outcome", "failed")])
+            .unwrap_or(0);
+        assert!(after >= before + 2);
+        assert!(
+            hac_obs::snapshot()
+                .gauge_value("hac_reindex_last_error_pass", &[])
+                .unwrap()
+                >= 1
+        );
     }
 }

@@ -575,10 +575,17 @@ impl HacFs {
     /// order. This is the paper's explicit reindex trigger; the periodic
     /// daemon calls it too.
     pub fn ssync(&self, path: &VPath) -> HacResult<SyncReport> {
+        let mut span = hac_obs::span!("ssync", path = path);
         let mut state = self.state.write();
         let mut report = state.sync_subtree(&self.vfs, &self.registry, path);
         report.links_repaired = state.repair_links(&self.vfs)?;
         report.dirs_synced = state.resync_all(&self.vfs, &self.registry)?;
+        span.field("added", report.added);
+        span.field("removed", report.removed);
+        hac_obs::counter("hac_ssync_passes_total", &[]).inc();
+        hac_obs::counter("hac_reindex_files_indexed_total", &[]).add(report.added + report.updated);
+        hac_obs::counter("hac_reindex_files_removed_total", &[]).add(report.removed);
+        hac_obs::histogram("hac_ssync_duration_us", &[]).record(span.elapsed_micros());
         Ok(report)
     }
 
@@ -965,7 +972,7 @@ impl HacFs {
         let state = self.state.read();
         let scope = state.reference_scope(&self.vfs, dir);
         let mut stats = hac_index::EvalStats::default();
-        let result = state.eval_local_counted(
+        let result = state.eval_local_timed(
             &self.vfs,
             &self.registry,
             &query.expr,

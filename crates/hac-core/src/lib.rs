@@ -31,7 +31,7 @@ pub mod semdir;
 pub mod state;
 pub mod uidmap;
 
-pub use daemon::ReindexDaemon;
+pub use daemon::{DaemonStatus, ReindexDaemon};
 pub use depgraph::{DepGraph, EdgeKind};
 pub use error::{HacError, HacResult};
 pub use fs::{HacFs, LinkInfo};

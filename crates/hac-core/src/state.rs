@@ -488,7 +488,28 @@ impl HacState {
         universe: &Bitmap,
     ) -> Bitmap {
         let mut stats = hac_index::EvalStats::default();
-        self.eval_local_counted(vfs, registry, expr, universe, &mut stats)
+        self.eval_local_timed(vfs, registry, expr, universe, &mut stats)
+    }
+
+    /// Top-level instrumented entry around [`HacState::eval_local_counted`]:
+    /// records one `hac_query_eval_duration_us` sample and the result
+    /// cardinality per whole-query evaluation (the recursive inner calls
+    /// stay unmetered so boolean sub-expressions are not double-counted).
+    pub fn eval_local_timed(
+        &self,
+        vfs: &Vfs,
+        registry: &TransducerRegistry,
+        expr: &QueryExpr,
+        universe: &Bitmap,
+        stats: &mut hac_index::EvalStats,
+    ) -> Bitmap {
+        let start = std::time::Instant::now();
+        let result = self.eval_local_counted(vfs, registry, expr, universe, stats);
+        hac_obs::counter("hac_query_evals_total", &[]).inc();
+        hac_obs::histogram("hac_query_eval_duration_us", &[])
+            .record(start.elapsed().as_micros() as u64);
+        hac_obs::histogram("hac_query_results", &[]).record(result.count());
+        result
     }
 
     /// Like [`HacState::eval_local`], accumulating the index's work
@@ -568,6 +589,7 @@ impl HacState {
     /// universe scope, ship the content projection and refine by the
     /// universe's id set. A failing namespace is reported in the second
     /// return value and its previously imported links are left untouched.
+    #[allow(clippy::type_complexity)]
     pub fn eval_remote(
         &self,
         query: &Query,
@@ -633,6 +655,7 @@ impl HacState {
             return Ok(false);
         };
         let dir_path = vfs.path_of(dir)?;
+        hac_obs::counter("hac_semdir_reeval_total", &[("dir", &dir_path.to_string())]).inc();
         let parent_path = dir_path.parent().unwrap_or_else(VPath::root);
         let parent = vfs.resolve_nofollow(&parent_path)?;
         let universe = self.scope_provided(vfs, parent);
@@ -835,6 +858,10 @@ impl HacState {
         roots: impl IntoIterator<Item = DirUid>,
     ) -> HacResult<u64> {
         let order = self.graph.update_order(roots);
+        // Cascade size = how many directories the dependency graph schedules
+        // for re-evaluation off this scope change (§2.5).
+        hac_obs::histogram("hac_ssync_cascade_depth", &[]).record(order.len() as u64);
+        hac_obs::counter("hac_cascade_reevals_total", &[]).add(order.len() as u64);
         let mut synced = 0;
         for uid in order {
             let Some(dir) = self.uids.dir_of(uid) else {
@@ -853,6 +880,8 @@ impl HacState {
     pub fn resync_all(&mut self, vfs: &Vfs, registry: &TransducerRegistry) -> HacResult<u64> {
         let uids: Vec<DirUid> = self.semdirs.values().map(|sd| sd.uid).collect();
         let order = self.graph.full_order(uids);
+        hac_obs::histogram("hac_ssync_cascade_depth", &[]).record(order.len() as u64);
+        hac_obs::counter("hac_cascade_reevals_total", &[]).add(order.len() as u64);
         let mut synced = 0;
         for uid in order {
             let Some(dir) = self.uids.dir_of(uid) else {
@@ -929,9 +958,8 @@ impl HacState {
                 },
                 Err(_) => Err(HacError::UnknownQueryTarget(p.clone())),
             })
-            .map_err(|e| {
+            .inspect_err(|e| {
                 bind_err = Some(e.clone());
-                e
             })
             .ok();
         if let Some(e) = bind_err {

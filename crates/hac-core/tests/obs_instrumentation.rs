@@ -1,0 +1,85 @@
+//! End-to-end observability: after an `ssync` over a populated tree, the
+//! global hac-obs registry must show the reindex pass, the files it
+//! indexed, and one query-evaluation latency sample per semantic directory
+//! re-evaluated. All assertions are deltas against a pre-test snapshot
+//! (the registry is process-global and other tests run in parallel);
+//! per-directory counters use paths unique to this test.
+
+use hac_core::HacFs;
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+#[test]
+fn ssync_populates_the_metrics_registry() {
+    let before = hac_obs::snapshot();
+
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/obs_it/docs")).unwrap();
+    fs.save(&p("/obs_it/docs/fp.txt"), b"fingerprint ridge survey")
+        .unwrap();
+    fs.save(&p("/obs_it/docs/db.txt"), b"database join survey")
+        .unwrap();
+    fs.save(&p("/obs_it/docs/misc.txt"), b"unrelated contents")
+        .unwrap();
+    fs.smkdir(&p("/obs_it/fp"), "fingerprint").unwrap();
+    fs.smkdir(&p("/obs_it/surveys"), "survey").unwrap();
+
+    let report = fs.ssync(&p("/")).unwrap();
+    assert!(report.dirs_synced >= 2);
+
+    let after = hac_obs::snapshot();
+    let delta = |name: &str| {
+        after.counter_value(name, &[]).unwrap_or(0) - before.counter_value(name, &[]).unwrap_or(0)
+    };
+
+    // At least one reindex pass ran.
+    assert!(
+        delta("hac_ssync_passes_total") >= 1,
+        "no ssync pass counted"
+    );
+    // It indexed a nonzero number of files.
+    assert!(
+        delta("hac_reindex_files_indexed_total") >= 3,
+        "files indexed not counted"
+    );
+
+    // Each semantic directory re-evaluated shows up in its per-directory
+    // counter (paths are unique to this test, so no delta needed)…
+    for dir in ["/obs_it/fp", "/obs_it/surveys"] {
+        assert!(
+            after
+                .counter_value("hac_semdir_reeval_total", &[("dir", dir)])
+                .unwrap_or(0)
+                >= 1,
+            "no re-evaluation counted for {dir}"
+        );
+    }
+    // …and contributed a query-eval latency histogram sample.
+    let eval_samples = after
+        .histogram_count("hac_query_eval_duration_us", &[])
+        .unwrap_or(0)
+        - before
+            .histogram_count("hac_query_eval_duration_us", &[])
+            .unwrap_or(0);
+    assert!(
+        eval_samples >= 2,
+        "expected one query-eval sample per semdir, saw {eval_samples}"
+    );
+
+    // The dependency cascade was measured.
+    assert!(delta("hac_cascade_reevals_total") >= 2);
+
+    // The span API recorded the ssync itself.
+    assert!(
+        after
+            .histogram_count("hac_span_duration_us", &[("span", "ssync")])
+            .unwrap_or(0)
+            >= 1
+    );
+    let prom = after.to_prometheus();
+    assert!(prom.contains("hac_ssync_passes_total"));
+    assert!(prom.contains("hac_query_eval_duration_us_bucket"));
+}

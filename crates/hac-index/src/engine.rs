@@ -92,6 +92,8 @@ pub struct EvalStats {
     pub verified: u64,
     /// Candidates rejected by verification (index false positives).
     pub false_positives: u64,
+    /// Posting lists consulted (one per key lookup that found a list).
+    pub postings_scanned: u64,
 }
 
 /// Space accounting for the index (drives Table 3).
@@ -279,8 +281,33 @@ impl Index {
         self.eval_counted(expr, universe, provider, &mut stats)
     }
 
-    /// Like [`Index::eval`], also accumulating work counters.
+    /// Like [`Index::eval`], also accumulating work counters. This is the
+    /// metered entry point: each call records one query-latency sample and
+    /// the posting/candidate work done, while the recursive descent through
+    /// boolean sub-expressions goes through the unmetered
+    /// [`Index::eval_inner`].
     pub fn eval_counted(
+        &self,
+        expr: &ContentExpr,
+        universe: &Bitmap,
+        provider: &dyn DocProvider,
+        stats: &mut EvalStats,
+    ) -> Bitmap {
+        let before = *stats;
+        let start = std::time::Instant::now();
+        let result = self.eval_inner(expr, universe, provider, stats);
+        hac_obs::counter("hac_index_evals_total", &[]).inc();
+        hac_obs::histogram("hac_index_eval_duration_us", &[])
+            .record(start.elapsed().as_micros() as u64);
+        hac_obs::counter("hac_index_postings_scanned_total", &[])
+            .add(stats.postings_scanned - before.postings_scanned);
+        hac_obs::counter("hac_index_candidates_total", &[])
+            .add(stats.candidates - before.candidates);
+        hac_obs::histogram("hac_index_results", &[]).record(result.count());
+        result
+    }
+
+    fn eval_inner(
         &self,
         expr: &ContentExpr,
         universe: &Bitmap,
@@ -323,21 +350,21 @@ impl Index {
                 acc
             }
             ContentExpr::And(a, b) => {
-                let left = self.eval_counted(a, universe, provider, stats);
+                let left = self.eval_inner(a, universe, provider, stats);
                 // Narrow the right side's universe: cheaper verification.
-                self.eval_counted(b, &left, provider, stats)
+                self.eval_inner(b, &left, provider, stats)
             }
             ContentExpr::Or(a, b) => self
-                .eval_counted(a, universe, provider, stats)
-                .or(&self.eval_counted(b, universe, provider, stats)),
+                .eval_inner(a, universe, provider, stats)
+                .or(&self.eval_inner(b, universe, provider, stats)),
             ContentExpr::AndNot(a, b) => {
-                let left = self.eval_counted(a, universe, provider, stats);
-                let right = self.eval_counted(b, &left, provider, stats);
+                let left = self.eval_inner(a, universe, provider, stats);
+                let right = self.eval_inner(b, &left, provider, stats);
                 left.and_not(&right)
             }
             ContentExpr::Not(a) => {
                 let u = universe.and(&Bitmap::Dense(self.live.clone()));
-                u.and_not(&self.eval_counted(a, &u, provider, stats))
+                u.and_not(&self.eval_inner(a, &u, provider, stats))
             }
         }
     }
@@ -352,6 +379,7 @@ impl Index {
         let Some(post) = self.posting(key) else {
             return Bitmap::new_dense();
         };
+        stats.postings_scanned += 1;
         match self.granularity {
             Granularity::Exact => {
                 let mut hits = post.clone();

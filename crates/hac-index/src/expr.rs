@@ -54,6 +54,7 @@ impl ContentExpr {
     }
 
     /// `NOT a` without manual boxing.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: ContentExpr) -> ContentExpr {
         ContentExpr::Not(Box::new(a))
     }

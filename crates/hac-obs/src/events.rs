@@ -1,0 +1,164 @@
+//! Structured events and spans.
+//!
+//! An [`Event`] is a named occurrence with string fields and an optional
+//! duration. Events land in a bounded in-memory ring (oldest dropped
+//! first). A [`SpanGuard`] is an RAII timer: created at the start of an
+//! operation, it records a `hac_span_duration_us{span="…"}` histogram
+//! sample and pushes an event when dropped; operations slower than the
+//! configured threshold are additionally copied to the slow-op log.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::Obs;
+
+/// One recorded occurrence.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event (or span) name.
+    pub name: String,
+    /// Free-form `(key, value)` fields.
+    pub fields: Vec<(String, String)>,
+    /// Microseconds since the owning [`Obs`] was created.
+    pub at_micros: u64,
+    /// Duration for span-end events; `None` for instant events.
+    pub duration_micros: Option<u64>,
+}
+
+impl Event {
+    /// Renders `name{k=v,…} [duration]` for human output.
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        if !self.fields.is_empty() {
+            let inner: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("{{{}}}", inner.join(",")));
+        }
+        if let Some(d) = self.duration_micros {
+            out.push_str(&format!(" {d}us"));
+        }
+        out
+    }
+}
+
+/// Bounded ring of recent events; pushing past capacity drops the oldest.
+pub struct EventRing {
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Copies the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII span: times an operation and records it on drop.
+///
+/// Dropping the guard records the duration into
+/// `hac_span_duration_us{span="<name>"}`, pushes a span-end event into the
+/// recent-events ring, and — if the duration meets the slow-op threshold —
+/// copies the event to the slow-op log and bumps `hac_slow_ops_total`.
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    fields: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn enter(obs: &'a Obs, name: &'static str, fields: Vec<(String, String)>) -> Self {
+        SpanGuard {
+            obs,
+            name,
+            fields,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds a field after entry (for values only known mid-span).
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed().as_micros() as u64;
+        self.obs
+            .registry()
+            .histogram("hac_span_duration_us", &[("span", self.name)])
+            .record(duration);
+        let event = Event {
+            name: self.name.to_string(),
+            fields: std::mem::take(&mut self.fields),
+            at_micros: self.obs.uptime_micros(),
+            duration_micros: Some(duration),
+        };
+        if duration >= self.obs.slow_op_threshold_micros() {
+            self.obs
+                .registry()
+                .counter("hac_slow_ops_total", &[("span", self.name)])
+                .inc();
+            self.obs.slow_ops_ring().push(event.clone());
+        }
+        self.obs.events_ring().push(event);
+    }
+}
+
+/// Opens a span on the global [`Obs`](crate::Obs); the returned
+/// [`SpanGuard`] records duration (and slow-op status) when dropped.
+///
+/// ```
+/// let _span = hac_obs::span!("reindex_pass", path = "/sem/query");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name, Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::global().span(
+            $name,
+            vec![$((stringify!($key).to_string(), format!("{}", $value))),+],
+        )
+    };
+}

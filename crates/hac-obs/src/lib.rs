@@ -1,0 +1,319 @@
+//! `hac-obs`: dependency-light observability for the HAC workspace.
+//!
+//! Three pieces, all in-memory and allocation-frugal:
+//!
+//! * a metrics [`Registry`] of named counters, gauges, and log₂-bucketed
+//!   latency histograms, with [`Snapshot`]s renderable as Prometheus text
+//!   exposition or JSON ([`metrics`]);
+//! * a structured event/span API — [`span!`] guards that record their
+//!   duration on drop into a bounded ring of recent [`Event`]s
+//!   ([`events`]);
+//! * a slow-op log: spans exceeding a configurable threshold are copied
+//!   to a dedicated ring and counted.
+//!
+//! Most callers use the process-wide instance via [`global()`] and the
+//! top-level convenience functions; tests construct private [`Obs`] or
+//! [`Registry`] values to avoid cross-test interference.
+
+pub mod events;
+pub mod metrics;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use events::{Event, EventRing, SpanGuard};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSample, MetricId,
+    Registry, Sample, Snapshot, HISTOGRAM_BUCKETS,
+};
+
+/// Default capacity of the recent-events ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+/// Default capacity of the slow-op log.
+pub const DEFAULT_SLOW_OP_CAPACITY: usize = 128;
+/// Default slow-op threshold in microseconds (100 ms).
+pub const DEFAULT_SLOW_OP_THRESHOLD_US: u64 = 100_000;
+
+/// One observability domain: a metrics registry, the recent-events ring,
+/// and the slow-op log, sharing a common epoch for event timestamps.
+pub struct Obs {
+    registry: Registry,
+    events: EventRing,
+    slow_ops: EventRing,
+    slow_op_threshold_us: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// Creates an empty domain with default ring capacities and threshold.
+    pub fn new() -> Self {
+        Obs {
+            registry: Registry::new(),
+            events: EventRing::new(DEFAULT_EVENT_CAPACITY),
+            slow_ops: EventRing::new(DEFAULT_SLOW_OP_CAPACITY),
+            slow_op_threshold_us: AtomicU64::new(DEFAULT_SLOW_OP_THRESHOLD_US),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The recent-events ring.
+    pub fn events_ring(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// The slow-op log.
+    pub fn slow_ops_ring(&self) -> &EventRing {
+        &self.slow_ops
+    }
+
+    /// Microseconds since this domain was created.
+    pub fn uptime_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Current slow-op threshold in microseconds.
+    pub fn slow_op_threshold_micros(&self) -> u64 {
+        self.slow_op_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-op threshold; spans at least this slow are logged.
+    pub fn set_slow_op_threshold_micros(&self, micros: u64) {
+        self.slow_op_threshold_us.store(micros, Ordering::Relaxed);
+    }
+
+    /// Opens a span in this domain (most callers use the [`span!`] macro).
+    pub fn span(&self, name: &'static str, fields: Vec<(String, String)>) -> SpanGuard<'_> {
+        SpanGuard::enter(self, name, fields)
+    }
+
+    /// Records an instant (duration-less) event.
+    pub fn event(&self, name: &str, fields: Vec<(String, String)>) {
+        self.events.push(Event {
+            name: name.to_string(),
+            fields,
+            at_micros: self.uptime_micros(),
+            duration_micros: None,
+        });
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide observability domain.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// Counter handle from the global registry.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Counter {
+    global().registry().counter(name, labels)
+}
+
+/// Gauge handle from the global registry.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    global().registry().gauge(name, labels)
+}
+
+/// Histogram handle from the global registry.
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Histogram {
+    global().registry().histogram(name, labels)
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> Snapshot {
+    global().registry().snapshot()
+}
+
+/// Prometheus text exposition of the global registry.
+pub fn prometheus() -> String {
+    snapshot().to_prometheus()
+}
+
+/// Recent events from the global ring, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    global().events_ring().snapshot()
+}
+
+/// Slow operations from the global log, oldest first.
+pub fn slow_ops() -> Vec<Event> {
+    global().slow_ops_ring().snapshot()
+}
+
+/// Sets the global slow-op threshold in microseconds.
+pub fn set_slow_op_threshold_micros(micros: u64) {
+    global().set_slow_op_threshold_micros(micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn concurrent_counter_and_histogram_updates_land_exactly() {
+        let reg = Arc::new(Registry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    let c = reg.counter("t_ops_total", &[]);
+                    let h = reg.histogram("t_latency_us", &[]);
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record((t as u64) * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        let total = THREADS as u64 * PER_THREAD;
+        assert_eq!(snap.counter_value("t_ops_total", &[]), Some(total));
+        assert_eq!(snap.histogram_count("t_latency_us", &[]), Some(total));
+        // Sum of 0..total recorded exactly once each.
+        let h = &snap.histograms[0];
+        assert_eq!(h.sum, total * (total - 1) / 2);
+        assert_eq!(h.buckets.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_powers_of_two() {
+        // Bucket 0 holds {0, 1}; bucket k holds (2^(k-1), 2^k].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        for k in 1..63usize {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k, "2^{k} must land in bucket {k}");
+            assert_eq!(
+                bucket_index(p + 1),
+                k + 1,
+                "2^{k}+1 spills to bucket {}",
+                k + 1
+            );
+            // 2^k - 1 stays inside (2^(k-1), 2^k] — still bucket k.
+            assert_eq!(bucket_index(p - 1), if k == 1 { 0 } else { k });
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), Some(1));
+        assert_eq!(bucket_upper_bound(3), Some(8));
+        assert_eq!(bucket_upper_bound(64), None);
+
+        let reg = Registry::new();
+        let h = reg.histogram("t_pow2", &[]);
+        h.record(8);
+        h.record(9);
+        let b = h.buckets();
+        assert_eq!(b[3], 1); // 8 ∈ (4, 8]
+        assert_eq!(b[4], 1); // 9 ∈ (8, 16]
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_first() {
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(Event {
+                name: format!("e{i}"),
+                fields: vec![],
+                at_micros: i,
+                duration_micros: None,
+            });
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn span_records_duration_and_slow_ops() {
+        let obs = Obs::new();
+        obs.set_slow_op_threshold_micros(0); // everything is "slow"
+        {
+            let mut span = obs.span("t_span", vec![("k".into(), "v".into())]);
+            span.field("extra", 7);
+        }
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.histogram_count("hac_span_duration_us", &[("span", "t_span")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("hac_slow_ops_total", &[("span", "t_span")]),
+            Some(1)
+        );
+        let slow = obs.slow_ops_ring().snapshot();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, "t_span");
+        assert!(slow[0].duration_micros.is_some());
+        assert!(slow[0].render().contains("extra=7"));
+        assert_eq!(obs.events_ring().len(), 1);
+
+        // Raise the threshold: fast spans stay out of the slow-op log.
+        obs.set_slow_op_threshold_micros(u64::MAX);
+        drop(obs.span("t_fast", vec![]));
+        assert_eq!(obs.slow_ops_ring().len(), 1);
+        assert_eq!(obs.events_ring().len(), 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("t_reqs_total", &[("ns", "web")]).add(3);
+        reg.gauge("t_depth", &[]).set(-2);
+        let h = reg.histogram("t_lat_us", &[]);
+        h.record(1);
+        h.record(5);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("t_reqs_total{ns=\"web\"} 3"));
+        assert!(text.contains("t_depth -2"));
+        assert!(text.contains("t_lat_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("t_lat_us_bucket{le=\"8\"} 2"));
+        assert!(text.contains("t_lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("t_lat_us_sum 6"));
+        assert!(text.contains("t_lat_us_count 2"));
+        // Every line parses as `name{labels} value`.
+        for line in text.lines() {
+            let (id, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(value.parse::<i64>().is_ok(), "bad value in {line:?}");
+            assert!(!id.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = Registry::new();
+        reg.counter("t_c", &[("a", "b")]).inc();
+        reg.histogram("t_h", &[]).record(4);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(
+            json.contains("\"counters\":[{\"name\":\"t_c\",\"labels\":{\"a\":\"b\"},\"value\":1}]")
+        );
+        assert!(json.contains("\"histograms\":[{\"name\":\"t_h\",\"labels\":{},\"count\":1,\"sum\":4,\"buckets\":[{\"le\":4,\"count\":1}]}]"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("t_global_shared_total", &[]).add(2);
+        let snap = snapshot();
+        assert!(snap.counter_value("t_global_shared_total", &[]).unwrap() >= 2);
+        let _ = prometheus();
+    }
+}

@@ -1,0 +1,446 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms, all updated through lock-free atomic handles.
+//!
+//! Metrics are identified by `(name, sorted label pairs)`. Handle lookup
+//! takes a short registry lock; the handles themselves are `Arc`-backed
+//! atomics, so the hot path (incrementing inside query evaluation or a
+//! reindex pass) never blocks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds values ≤ 1, bucket `k`
+/// (1 ≤ k < 64) holds values in `(2^(k-1), 2^k]`, bucket 64 is the
+/// overflow for values above `2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (log₂ bucketing; boundaries are
+/// powers of two and each power of two lands in the bucket it bounds).
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        (64 - (value - 1).leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket, or `None` for the overflow bucket.
+pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+    if index >= 64 {
+        None
+    } else {
+        Some(1u64 << index)
+    }
+}
+
+/// Monotonic counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge handle (a settable signed value).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂-bucketed histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) observation counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Fully-qualified metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// Metric name (`hac_*` by convention here).
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",…}` (bare name when label-free).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One counter/gauge sample in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Sampled value.
+    pub value: i128,
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// Point-in-time copy of every registered metric, sorted by identity.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter samples.
+    pub counters: Vec<Sample>,
+    /// Gauge samples.
+    pub gauges: Vec<Sample>,
+    /// Histogram samples.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Value of a counter, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.value as u64)
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let id = MetricId::new(name, labels);
+        self.gauges
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.value as i64)
+    }
+
+    /// Observation count of a histogram, if present.
+    pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.histograms.iter().find(|s| s.id == id).map(|s| s.count)
+    }
+
+    /// Sum of a counter over every label combination it was recorded with.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|s| s.id.name == name)
+            .map(|s| s.value as u64)
+            .sum()
+    }
+
+    /// Renders Prometheus text exposition (`name{label="…"} value` lines;
+    /// histograms as cumulative `_bucket`/`_sum`/`_count` series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.counters {
+            out.push_str(&format!("{} {}\n", s.id.render(), s.value));
+        }
+        for s in &self.gauges {
+            out.push_str(&format!("{} {}\n", s.id.render(), s.value));
+        }
+        for h in &self.histograms {
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                // Skip empty tail buckets, but always emit +Inf below.
+                if *b == 0 && !(cumulative > 0 && i == 0) {
+                    continue;
+                }
+                let le = match bucket_upper_bound(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let mut id = h.id.clone();
+                id.name = format!("{}_bucket", id.name);
+                id.labels.push(("le".to_string(), le));
+                out.push_str(&format!("{} {}\n", id.render(), cumulative));
+            }
+            let mut inf = h.id.clone();
+            inf.name = format!("{}_bucket", inf.name);
+            inf.labels.push(("le".to_string(), "+Inf".to_string()));
+            out.push_str(&format!("{} {}\n", inf.render(), h.count));
+            let mut sum_id = h.id.clone();
+            sum_id.name = format!("{}_sum", sum_id.name);
+            out.push_str(&format!("{} {}\n", sum_id.render(), h.sum));
+            let mut count_id = h.id.clone();
+            count_id.name = format!("{}_count", count_id.name);
+            out.push_str(&format!("{} {}\n", count_id.render(), h.count));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled: this crate is
+    /// deliberately dependency-light).
+    pub fn to_json(&self) -> String {
+        fn jstr(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn labels_json(labels: &[(String, String)]) -> String {
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{}:{}", jstr(k), jstr(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"value\":{}}}",
+                    jstr(&s.id.name),
+                    labels_json(&s.id.labels),
+                    s.value
+                )
+            })
+            .collect();
+        parts.push(format!("\"counters\":[{}]", counters.join(",")));
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"value\":{}}}",
+                    jstr(&s.id.name),
+                    labels_json(&s.id.labels),
+                    s.value
+                )
+            })
+            .collect();
+        parts.push(format!("\"gauges\":[{}]", gauges.join(",")));
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| {
+                        let le = match bucket_upper_bound(i) {
+                            Some(b) => format!("{b}"),
+                            None => "\"+Inf\"".to_string(),
+                        };
+                        format!("{{\"le\":{le},\"count\":{c}}}")
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    jstr(&h.id.name),
+                    labels_json(&h.id.labels),
+                    h.count,
+                    h.sum,
+                    buckets.join(",")
+                )
+            })
+            .collect();
+        parts.push(format!("\"histograms\":[{}]", histograms.join(",")));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// A registry of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricId, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) a counter.
+    ///
+    /// # Panics
+    ///
+    /// If the same name+labels is already registered as another metric
+    /// type — a programming error in the instrumentation.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns (registering on first use) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns (registering on first use) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(id)
+            .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistogramInner::new()))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock();
+        let mut snap = Snapshot::default();
+        for (id, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push(Sample {
+                    id: id.clone(),
+                    value: c.get() as i128,
+                }),
+                Metric::Gauge(g) => snap.gauges.push(Sample {
+                    id: id.clone(),
+                    value: g.get() as i128,
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    id: id.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                }),
+            }
+        }
+        snap
+    }
+}

@@ -77,6 +77,7 @@ impl QueryExpr {
     }
 
     /// `NOT a` without manual boxing.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: QueryExpr) -> QueryExpr {
         QueryExpr::Not(Box::new(a))
     }

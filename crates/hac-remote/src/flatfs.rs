@@ -89,23 +89,27 @@ impl RemoteQuerySystem for FlatFileServer {
     }
 
     fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
-        let files = self.files.read();
-        Ok(files
-            .iter()
-            .filter(|(_, content)| Self::matches(query, &tokenize_text(content)))
-            .map(|(name, _)| RemoteDoc {
-                id: name.clone(),
-                title: name.clone(),
-            })
-            .collect())
+        crate::observed(&self.ns, "search", || {
+            let files = self.files.read();
+            Ok(files
+                .iter()
+                .filter(|(_, content)| Self::matches(query, &tokenize_text(content)))
+                .map(|(name, _)| RemoteDoc {
+                    id: name.clone(),
+                    title: name.clone(),
+                })
+                .collect())
+        })
     }
 
     fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
-        self.files
-            .read()
-            .get(id)
-            .cloned()
-            .ok_or_else(|| RemoteError::NotFound(id.to_string()))
+        crate::observed(&self.ns, "fetch", || {
+            self.files
+                .read()
+                .get(id)
+                .cloned()
+                .ok_or_else(|| RemoteError::NotFound(id.to_string()))
+        })
     }
 }
 

@@ -24,3 +24,25 @@ pub mod websearch;
 pub use flatfs::FlatFileServer;
 pub use remotehac::RemoteHac;
 pub use websearch::{FailurePolicy, WebSearchSim};
+
+/// Runs one remote request under per-mount metrics: counts the request in
+/// `hac_remote_requests_total{ns,op}`, records its latency in
+/// `hac_remote_request_duration_us{ns,op}`, and counts failures in
+/// `hac_remote_errors_total{ns,op}`. All three [`RemoteQuerySystem`]
+/// implementations in this crate route `search`/`fetch` through here.
+pub(crate) fn observed<T>(
+    ns: &hac_core::NamespaceId,
+    op: &'static str,
+    f: impl FnOnce() -> Result<T, hac_core::RemoteError>,
+) -> Result<T, hac_core::RemoteError> {
+    let start = std::time::Instant::now();
+    let result = f();
+    let labels = [("ns", ns.0.as_str()), ("op", op)];
+    hac_obs::counter("hac_remote_requests_total", &labels).inc();
+    hac_obs::histogram("hac_remote_request_duration_us", &labels)
+        .record(start.elapsed().as_micros() as u64);
+    if result.is_err() {
+        hac_obs::counter("hac_remote_errors_total", &labels).inc();
+    }
+    result
+}

@@ -67,41 +67,45 @@ impl RemoteQuerySystem for RemoteHac {
     }
 
     fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
-        let text = Self::expr_to_text(query);
-        let hits = self
-            .fs
-            .search(&self.export_root, &text)
-            .map_err(|e| RemoteError::UnsupportedQuery(e.to_string()))?;
-        let mut out: Vec<RemoteDoc> = hits
-            .into_iter()
-            .map(|p| RemoteDoc {
-                id: p.to_string(),
-                title: p.file_name().unwrap_or("export").to_string(),
-            })
-            .collect();
-        out.sort_by(|a, b| a.id.cmp(&b.id));
-        Ok(out)
+        crate::observed(&self.ns, "search", || {
+            let text = Self::expr_to_text(query);
+            let hits = self
+                .fs
+                .search(&self.export_root, &text)
+                .map_err(|e| RemoteError::UnsupportedQuery(e.to_string()))?;
+            let mut out: Vec<RemoteDoc> = hits
+                .into_iter()
+                .map(|p| RemoteDoc {
+                    id: p.to_string(),
+                    title: p.file_name().unwrap_or("export").to_string(),
+                })
+                .collect();
+            out.sort_by(|a, b| a.id.cmp(&b.id));
+            Ok(out)
+        })
     }
 
     fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
-        let path = VPath::parse(id).map_err(|_| RemoteError::NotFound(id.to_string()))?;
-        // The export boundary is the export root's *scope*, not its path
-        // prefix: a curated semantic directory's links point at files that
-        // live elsewhere, and exactly those files are what it exports.
-        let in_subtree = path.starts_with(&self.export_root);
-        let in_scope = || {
+        crate::observed(&self.ns, "fetch", || {
+            let path = VPath::parse(id).map_err(|_| RemoteError::NotFound(id.to_string()))?;
+            // The export boundary is the export root's *scope*, not its path
+            // prefix: a curated semantic directory's links point at files that
+            // live elsewhere, and exactly those files are what it exports.
+            let in_subtree = path.starts_with(&self.export_root);
+            let in_scope = || {
+                self.fs
+                    .search(&self.export_root, "*")
+                    .map(|paths| paths.contains(&path))
+                    .unwrap_or(false)
+            };
+            if !in_subtree && !in_scope() {
+                return Err(RemoteError::NotFound(id.to_string()));
+            }
             self.fs
-                .search(&self.export_root, "*")
-                .map(|paths| paths.contains(&path))
-                .unwrap_or(false)
-        };
-        if !in_subtree && !in_scope() {
-            return Err(RemoteError::NotFound(id.to_string()));
-        }
-        self.fs
-            .read_file(&path)
-            .map(|b| b.to_vec())
-            .map_err(|_| RemoteError::NotFound(id.to_string()))
+                .read_file(&path)
+                .map(|b| b.to_vec())
+                .map_err(|_| RemoteError::NotFound(id.to_string()))
+        })
     }
 }
 

@@ -121,9 +121,9 @@ impl WebSearchSim {
             FailurePolicy::AlwaysDown => {
                 Err(RemoteError::Unavailable("engine offline".to_string()))
             }
-            FailurePolicy::EveryNth(k) if k > 0 && n % k == 0 => Err(RemoteError::Unavailable(
-                format!("transient fault on request {n}"),
-            )),
+            FailurePolicy::EveryNth(k) if k > 0 && n.is_multiple_of(k) => Err(
+                RemoteError::Unavailable(format!("transient fault on request {n}")),
+            ),
             FailurePolicy::EveryNth(_) => Ok(()),
             FailurePolicy::AlwaysTimeout => Err(RemoteError::Timeout),
         }
@@ -147,31 +147,35 @@ impl RemoteQuerySystem for WebSearchSim {
     }
 
     fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
-        self.gate()?;
-        let store = self.store.read();
-        let universe: Bitmap = store.index.all_docs();
-        let hits = store.index.eval(query, &universe, &StoreProvider(&store));
-        let mut out = Vec::new();
-        for doc in hits.ids() {
-            if let Some((id, title, _)) = store.docs.get(&doc.0) {
-                out.push(RemoteDoc {
-                    id: id.clone(),
-                    title: title.clone(),
-                });
+        crate::observed(&self.ns, "search", || {
+            self.gate()?;
+            let store = self.store.read();
+            let universe: Bitmap = store.index.all_docs();
+            let hits = store.index.eval(query, &universe, &StoreProvider(&store));
+            let mut out = Vec::new();
+            for doc in hits.ids() {
+                if let Some((id, title, _)) = store.docs.get(&doc.0) {
+                    out.push(RemoteDoc {
+                        id: id.clone(),
+                        title: title.clone(),
+                    });
+                }
             }
-        }
-        out.sort_by(|a, b| a.id.cmp(&b.id));
-        Ok(out)
+            out.sort_by(|a, b| a.id.cmp(&b.id));
+            Ok(out)
+        })
     }
 
     fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
-        self.gate()?;
-        let store = self.store.read();
-        let doc = store
-            .by_id
-            .get(id)
-            .ok_or_else(|| RemoteError::NotFound(id.to_string()))?;
-        Ok(store.docs[doc].2.clone())
+        crate::observed(&self.ns, "fetch", || {
+            self.gate()?;
+            let store = self.store.read();
+            let doc = store
+                .by_id
+                .get(id)
+                .ok_or_else(|| RemoteError::NotFound(id.to_string()))?;
+            Ok(store.docs[doc].2.clone())
+        })
     }
 }
 

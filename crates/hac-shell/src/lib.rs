@@ -292,7 +292,7 @@ impl Shell {
                 ))
             }
             "explain" => match args {
-                [query @ ..] if !query.is_empty() => {
+                query if !query.is_empty() => {
                     let (hits, stats) = self.fs.search_explained(&self.cwd, &query.join(" "))?;
                     Ok(format!(
                         "{} hits; {} candidates, {} verified, {} false positives\n",
@@ -305,7 +305,7 @@ impl Shell {
                 _ => Err(ShellError::Usage("explain <query…>")),
             },
             "find" => match args {
-                [query @ ..] if !query.is_empty() => {
+                query if !query.is_empty() => {
                     let hits = self.fs.search(&self.cwd, &query.join(" "))?;
                     let mut out = String::new();
                     for h in hits {
@@ -385,17 +385,63 @@ impl Shell {
                 }
                 _ => Err(ShellError::Usage("mounts <dir>")),
             },
-            "stats" => {
-                let s = self.fs.index_stats();
-                Ok(format!(
-                    "docs {}  terms {}  blocks {}  index {} B  hac-metadata {} B\n",
-                    s.docs,
-                    s.terms,
-                    s.blocks,
-                    s.total_bytes(),
-                    self.fs.metadata_bytes()
-                ))
-            }
+            "stats" => match args {
+                [] => {
+                    let s = self.fs.index_stats();
+                    let mut out = format!(
+                        "docs {}  terms {}  blocks {}  index {} B  hac-metadata {} B\n",
+                        s.docs,
+                        s.terms,
+                        s.blocks,
+                        s.total_bytes(),
+                        self.fs.metadata_bytes()
+                    );
+                    let snap = hac_obs::snapshot();
+                    if !snap.counters.is_empty() {
+                        out.push_str("\ncounters:\n");
+                        for c in &snap.counters {
+                            out.push_str(&format!("  {:<56} {}\n", c.id.render(), c.value));
+                        }
+                    }
+                    if !snap.gauges.is_empty() {
+                        out.push_str("\ngauges:\n");
+                        for g in &snap.gauges {
+                            out.push_str(&format!("  {:<56} {}\n", g.id.render(), g.value));
+                        }
+                    }
+                    if !snap.histograms.is_empty() {
+                        out.push_str("\nhistograms:\n");
+                        for h in &snap.histograms {
+                            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                            out.push_str(&format!(
+                                "  {:<56} count {}  sum {}  mean {}\n",
+                                h.id.render(),
+                                h.count,
+                                h.sum,
+                                mean
+                            ));
+                        }
+                    }
+                    Ok(out)
+                }
+                [flag] if flag == "--prom" => Ok(hac_obs::prometheus()),
+                [flag] if flag == "--events" => {
+                    let mut out = String::new();
+                    out.push_str("recent events (oldest first):\n");
+                    for e in hac_obs::recent_events() {
+                        out.push_str(&format!("  {}\n", e.render()));
+                    }
+                    let slow = hac_obs::slow_ops();
+                    if !slow.is_empty() {
+                        out.push_str("slow ops:\n");
+                        for e in slow {
+                            out.push_str(&format!("  {}\n", e.render()));
+                        }
+                    }
+                    Ok(out)
+                }
+                _ => Err(ShellError::Usage("stats [--prom|--events]")),
+            },
             other => Err(ShellError::UnknownCommand(other.to_string())),
         }
     }
@@ -429,7 +475,7 @@ ln readlink
 semantic    : smkdir <dir> <query> | query <dir> | chquery <dir> <query> | \
 sact <link> | ssync [path] | find <query> | explain <query>
 curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
-other       : mounts <dir> | stats | help
+other       : mounts <dir> | stats [--prom|--events] | help
 ";
 
 #[cfg(test)]
@@ -519,7 +565,7 @@ mod tests {
             sh.exec("frobnicate"),
             Err(ShellError::UnknownCommand(_))
         ));
-        assert!(matches!(sh.exec("cd"), Ok(_)));
+        assert!(sh.exec("cd").is_ok());
         assert!(matches!(sh.exec("cd /docs/a.txt"), Err(ShellError::Hac(_))));
         assert!(matches!(sh.exec("cat"), Err(ShellError::Usage(_))));
         assert!(matches!(sh.exec("cat /nope"), Err(ShellError::Hac(_))));

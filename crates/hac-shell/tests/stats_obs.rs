@@ -1,0 +1,102 @@
+//! Acceptance for the `stats` command: after a scripted smkdir+ssync
+//! session over a file system with a semantic mount, `stats` prints live
+//! counters, and `stats --prom` emits parseable `name{label="…"} value`
+//! exposition covering reindex passes (ok and failed), the query-eval
+//! latency histogram, the dependency-cascade re-eval count, and the
+//! per-mount request/error counters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hac_core::{HacError, HacFs, ReindexDaemon, RemoteError};
+use hac_remote::{FailurePolicy, WebSearchSim};
+use hac_shell::Shell;
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+#[test]
+fn stats_shows_live_counters_and_prom_exposition() {
+    let fs = Arc::new(HacFs::new());
+    let web = Arc::new(WebSearchSim::new("web_stats"));
+    web.publish("w1", "Fingerprint page", b"fingerprint verification online");
+    fs.mkdir_p(&p("/lib")).unwrap();
+    fs.smount(&p("/lib"), Arc::clone(&web) as _).unwrap();
+
+    let mut sh = Shell::over(Arc::clone(&fs));
+    sh.exec_script(
+        "mkdir /docs; \
+         write /docs/a.txt fingerprint ridge patterns; \
+         write /docs/b.txt grocery list; \
+         smkdir /lib/fp fingerprint; \
+         ssync",
+    )
+    .unwrap();
+
+    // One daemon pass that succeeds, one configuration whose passes fail:
+    // the prom output must carry both outcomes.
+    let ok_daemon = ReindexDaemon::spawn(Arc::clone(&fs), Duration::from_millis(2));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while ok_daemon.status().ok_passes < 1 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ok_daemon.stop();
+    let failing = ReindexDaemon::spawn_with(Arc::clone(&fs), Duration::from_millis(2), |_| {
+        Err(HacError::Remote(RemoteError::Unavailable("down".into())))
+    });
+    while failing.status().failed_passes < 1 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    failing.stop();
+
+    // A failing remote gives the per-mount error counter a sample.
+    web.set_failure_policy(FailurePolicy::AlwaysDown);
+    sh.exec("ssync").unwrap();
+
+    // Human-readable table: index line plus live counter sections.
+    let human = sh.exec("stats").unwrap();
+    assert!(human.starts_with("docs "), "{human}");
+    assert!(human.contains("counters:"), "{human}");
+    assert!(human.contains("hac_ssync_passes_total"), "{human}");
+    assert!(human.contains("histograms:"), "{human}");
+    assert!(human.contains("hac_query_eval_duration_us"), "{human}");
+
+    // Prometheus exposition: every line parses, required series present.
+    let prom = sh.exec("stats --prom").unwrap();
+    for line in prom.lines() {
+        let (id, value) = line.rsplit_once(' ').expect("line has `id value` shape");
+        assert!(!id.is_empty());
+        assert!(
+            value.parse::<i64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+    for needle in [
+        "hac_reindex_passes_total{outcome=\"ok\"}",
+        "hac_reindex_passes_total{outcome=\"failed\"}",
+        "hac_query_eval_duration_us_bucket",
+        "hac_query_eval_duration_us_count",
+        "hac_cascade_reevals_total",
+        "hac_remote_requests_total{ns=\"web_stats\",op=\"search\"}",
+        "hac_remote_errors_total{ns=\"web_stats\",op=\"search\"}",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+
+    // The event ring saw the ssync spans.
+    let events = sh.exec("stats --events").unwrap();
+    assert!(events.contains("ssync"), "{events}");
+
+    // The remote import actually happened before the failure was injected.
+    assert!(
+        fs.readdir(&p("/lib/fp")).unwrap().iter().any(|e| {
+            e.name.to_ascii_lowercase().contains("fingerprint")
+                || e.name.to_ascii_lowercase().contains("page")
+        }),
+        "remote result was not imported"
+    );
+}

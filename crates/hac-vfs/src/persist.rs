@@ -385,7 +385,7 @@ mod codec {
         }
     }
 
-    impl<'de, 'a> de::Deserializer<'de> for &'a mut Decoder<'de> {
+    impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         type Error = Error;
 
         fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {

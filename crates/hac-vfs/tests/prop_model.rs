@@ -55,11 +55,11 @@ fn apply_model(model: &mut BTreeMap<String, Entry>, op: &Op) -> bool {
     match op {
         Op::Mkdir(d) => {
             let p = dir_path(*d).to_string();
-            if model.contains_key(&p) {
-                false
-            } else {
-                model.insert(p, Entry::Dir);
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(p) {
+                e.insert(Entry::Dir);
                 true
+            } else {
+                false
             }
         }
         Op::Create(d, f) => {

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple median-of-samples timer instead of criterion's full
+//! statistical machinery. Results print as one line per benchmark.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for one benchmark: a function id plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    last_nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of samples (one call each, after
+    /// one warmup call) and records the measurements.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.last_nanos.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_nanos.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+fn report(group: Option<&str>, id: &str, nanos: &mut [u128]) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if nanos.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    nanos.sort_unstable();
+    let median = nanos[nanos.len() / 2];
+    let (lo, hi) = (nanos[0], nanos[nanos.len() - 1]);
+    println!("bench {label:<48} median {median:>12} ns   [{lo} .. {hi}]");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark under this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_nanos: Vec::new(),
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, &mut b.last_nanos);
+        self
+    }
+
+    /// Runs `f` with an input value as a benchmark under this group.
+    pub fn bench_with_input<I, Id: Into<BenchmarkId>, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: Id,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_nanos: Vec::new(),
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &mut b.last_nanos);
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs `f` as a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 10,
+            last_nanos: Vec::new(),
+        };
+        f(&mut b);
+        report(None, id, &mut b.last_nanos);
+        self
+    }
+}
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` may pass harness flags; ignore them.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("inc", 7), &7u32, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n + 1
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

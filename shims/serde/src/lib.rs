@@ -1,0 +1,201 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! serde data-model subset that `hac_vfs::persist`'s hand-rolled codec and
+//! the `#[derive(Serialize, Deserialize)]` shapes in this repository
+//! actually exercise: primitives, strings, bytes, options, sequences, maps,
+//! tuples, structs (encoded as sequences), and enums (encoded as
+//! variant-index + payload). The trait signatures mirror upstream serde so
+//! the codec compiles unchanged.
+
+pub mod ser;
+
+pub mod de;
+
+pub use de::Deserialize;
+pub use de::Deserializer;
+pub use ser::Serialize;
+pub use ser::Serializer;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Forwards type-directed `deserialize_*` calls to `deserialize_any`, for
+/// self-describing formats.
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    (<$visitor:ident: Visitor<$lifetime:tt>> $($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_helper!{$func<$lifetime>})*
+    };
+    ($($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_helper!{$func<'de>})*
+    };
+}
+
+/// Implementation detail of [`forward_to_deserialize_any!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_helper {
+    (bool<$l:tt>) => {
+        $crate::forward_simple! {deserialize_bool<$l>}
+    };
+    (i8<$l:tt>) => {
+        $crate::forward_simple! {deserialize_i8<$l>}
+    };
+    (i16<$l:tt>) => {
+        $crate::forward_simple! {deserialize_i16<$l>}
+    };
+    (i32<$l:tt>) => {
+        $crate::forward_simple! {deserialize_i32<$l>}
+    };
+    (i64<$l:tt>) => {
+        $crate::forward_simple! {deserialize_i64<$l>}
+    };
+    (i128<$l:tt>) => {
+        $crate::forward_simple! {deserialize_i128<$l>}
+    };
+    (u8<$l:tt>) => {
+        $crate::forward_simple! {deserialize_u8<$l>}
+    };
+    (u16<$l:tt>) => {
+        $crate::forward_simple! {deserialize_u16<$l>}
+    };
+    (u32<$l:tt>) => {
+        $crate::forward_simple! {deserialize_u32<$l>}
+    };
+    (u64<$l:tt>) => {
+        $crate::forward_simple! {deserialize_u64<$l>}
+    };
+    (u128<$l:tt>) => {
+        $crate::forward_simple! {deserialize_u128<$l>}
+    };
+    (f32<$l:tt>) => {
+        $crate::forward_simple! {deserialize_f32<$l>}
+    };
+    (f64<$l:tt>) => {
+        $crate::forward_simple! {deserialize_f64<$l>}
+    };
+    (char<$l:tt>) => {
+        $crate::forward_simple! {deserialize_char<$l>}
+    };
+    (str<$l:tt>) => {
+        $crate::forward_simple! {deserialize_str<$l>}
+    };
+    (string<$l:tt>) => {
+        $crate::forward_simple! {deserialize_string<$l>}
+    };
+    (bytes<$l:tt>) => {
+        $crate::forward_simple! {deserialize_bytes<$l>}
+    };
+    (byte_buf<$l:tt>) => {
+        $crate::forward_simple! {deserialize_byte_buf<$l>}
+    };
+    (option<$l:tt>) => {
+        $crate::forward_simple! {deserialize_option<$l>}
+    };
+    (unit<$l:tt>) => {
+        $crate::forward_simple! {deserialize_unit<$l>}
+    };
+    (seq<$l:tt>) => {
+        $crate::forward_simple! {deserialize_seq<$l>}
+    };
+    (map<$l:tt>) => {
+        $crate::forward_simple! {deserialize_map<$l>}
+    };
+    (identifier<$l:tt>) => {
+        $crate::forward_simple! {deserialize_identifier<$l>}
+    };
+    (ignored_any<$l:tt>) => {
+        $crate::forward_simple! {deserialize_ignored_any<$l>}
+    };
+    (unit_struct<$l:tt>) => {
+        fn deserialize_unit_struct<V>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (newtype_struct<$l:tt>) => {
+        fn deserialize_newtype_struct<V>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple<$l:tt>) => {
+        fn deserialize_tuple<V>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple_struct<$l:tt>) => {
+        fn deserialize_tuple_struct<V>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (struct<$l:tt>) => {
+        fn deserialize_struct<V>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (enum<$l:tt>) => {
+        fn deserialize_enum<V>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+}
+
+/// Implementation detail of [`forward_to_deserialize_any!`]: the common
+/// single-visitor-argument method shape.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_simple {
+    ($func:ident<$l:tt>) => {
+        fn $func<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+}

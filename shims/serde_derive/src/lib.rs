@@ -1,0 +1,668 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no network access (no `syn`/`quote`), so the
+//! derive macros here hand-parse the item token stream and emit impls as
+//! formatted source strings. Supported shapes — exactly what this workspace
+//! derives: non-generic named structs, tuple/newtype structs, unit structs,
+//! and enums with unit/newtype/tuple/struct variants. The only supported
+//! field attribute is `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (empty for tuple fields), type source text, and
+/// the optional `with` module path.
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::ser::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let body = gen_serialize(&item);
+    wrap_in_const(&body)
+}
+
+/// Derives `serde::de::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let body = gen_deserialize(&item);
+    wrap_in_const(&body)
+}
+
+fn wrap_in_const(body: &str) -> TokenStream {
+    let src = format!("const _: () = {{ {body} }};");
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim generated invalid code: {e}\n{src}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility; find `struct` / `enum`.
+    let is_enum = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum found"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive shim: expected type name, got {t:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+        t => panic!("serde_derive shim: unexpected token after type name: {t:?}"),
+    };
+
+    Input { name, kind }
+}
+
+/// Consumes leading `#[...]` attributes, returning the `with` module from a
+/// `#[serde(with = "...")]` if present.
+fn take_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<String> {
+    let mut with = None;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let group = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    t => panic!("serde_derive shim: malformed attribute: {t:?}"),
+                };
+                let mut inner = group.stream().into_iter();
+                match inner.next() {
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+                        let args = match inner.next() {
+                            Some(TokenTree::Group(g)) => g.stream(),
+                            t => panic!("serde_derive shim: malformed serde attribute: {t:?}"),
+                        };
+                        with = Some(parse_with_attr(args));
+                    }
+                    _ => {} // doc comments, cfg, etc. — ignore
+                }
+            }
+            _ => return with,
+        }
+    }
+}
+
+fn parse_with_attr(args: TokenStream) -> String {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = lit.to_string();
+            s.trim_matches('"').to_string()
+        }
+        _ => panic!("serde_derive shim: only #[serde(with = \"module\")] is supported"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let with = take_attrs(&mut tokens);
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde_derive shim: expected field name, got {t:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde_derive shim: expected ':' after field {name}, got {t:?}"),
+        }
+        let ty = take_type(&mut tokens);
+        fields.push(Field { name, ty, with });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let with = take_attrs(&mut tokens);
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        if tokens.peek().is_none() {
+            break;
+        }
+        let ty = take_type(&mut tokens);
+        fields.push(Field {
+            name: String::new(),
+            ty,
+            with,
+        });
+    }
+    fields
+}
+
+/// Collects type tokens up to a top-level `,` (tracking `<...>` depth).
+fn take_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> String {
+    let mut depth = 0i32;
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(tok) = tokens.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        parts.push(tokens.next().unwrap().to_string());
+    }
+    parts.join(" ")
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde_derive shim: expected variant name, got {t:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive shim: explicit discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+
+/// Emits helper wrapper types for `with`-annotated fields and returns the
+/// expression serializing `access` (a place expression of type `&{ty}`).
+fn ser_field_expr(helpers: &mut String, field: &Field, access: &str, tag: &str) -> String {
+    match &field.with {
+        None => access.to_string(),
+        Some(module) => {
+            let ty = &field.ty;
+            helpers.push_str(&format!(
+                "struct __SerWith{tag}<'__a>(&'__a {ty});\n\
+                 impl<'__a> ::serde::ser::Serialize for __SerWith{tag}<'__a> {{\n\
+                     fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         {module}::serialize(self.0, __serializer)\n\
+                     }}\n\
+                 }}\n"
+            ));
+            format!("&__SerWith{tag}({access})")
+        }
+    }
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut helpers = String::new();
+    let body = match &item.kind {
+        Kind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Kind::TupleStruct(fields) if fields.len() == 1 => {
+            let expr = ser_field_expr(&mut helpers, &fields[0], "&self.0", "0");
+            format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", {expr})"
+            )
+        }
+        Kind::TupleStruct(fields) => {
+            let n = fields.len();
+            let mut out = format!(
+                "let mut __s = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for (i, f) in fields.iter().enumerate() {
+                let expr = ser_field_expr(&mut helpers, f, &format!("&self.{i}"), &i.to_string());
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __s, {expr})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__s)");
+            out
+        }
+        Kind::NamedStruct(fields) => {
+            let n = fields.len();
+            let mut out = format!(
+                "let mut __s = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for (i, f) in fields.iter().enumerate() {
+                let fname = &f.name;
+                let expr =
+                    ser_field_expr(&mut helpers, f, &format!("&self.{fname}"), &i.to_string());
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __s, \"{fname}\", {expr})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__s)");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) if fields.len() == 1 => {
+                        let tag = format!("{vi}_0");
+                        let expr = ser_field_expr(&mut helpers, &fields[0], "__f0", &tag);
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", {expr}),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) => {
+                        let n = fields.len();
+                        let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __s = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", {n}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            let tag = format!("{vi}_{i}");
+                            let expr = ser_field_expr(&mut helpers, f, &format!("__f{i}"), &tag);
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {expr})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__s)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantFields::Named(fields) => {
+                        let n = fields.len();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __s = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", {n}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            let fname = &f.name;
+                            let tag = format!("{vi}_{i}");
+                            let expr = ser_field_expr(&mut helpers, f, fname, &tag);
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __s, \"{fname}\", {expr})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__s)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{helpers}\n\
+         #[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+
+/// Emits the `let __f{i} = ...;` bindings reading `fields` in order from a
+/// `SeqAccess` value named `__seq` whose access type parameter is `{acc}`.
+fn de_field_lets(fields: &[Field], acc: &str, tag_prefix: &str) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let missing = format!(
+            "::core::option::Option::None => return ::core::result::Result::Err(<{acc}::Error as ::serde::de::Error>::custom(\"missing field {i}\")),"
+        );
+        match &f.with {
+            None => {
+                out.push_str(&format!(
+                    "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::core::option::Option::Some(__v) => __v,\n\
+                         {missing}\n\
+                     }};\n"
+                ));
+            }
+            Some(module) => {
+                let ty = &f.ty;
+                out.push_str(&format!(
+                    "let __f{i} = {{\n\
+                         struct __Seed{tag_prefix}{i};\n\
+                         impl<'de> ::serde::de::DeserializeSeed<'de> for __Seed{tag_prefix}{i} {{\n\
+                             type Value = {ty};\n\
+                             fn deserialize<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2)\n\
+                                 -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                                 {module}::deserialize(__d)\n\
+                             }}\n\
+                         }}\n\
+                         match ::serde::de::SeqAccess::next_element_seed(&mut __seq, __Seed{tag_prefix}{i})? {{\n\
+                             ::core::option::Option::Some(__v) => __v,\n\
+                             {missing}\n\
+                         }}\n\
+                     }};\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds a construction expression from `__f{i}` binders.
+fn construct(name: &str, variant: Option<&str>, fields: &VariantFields) -> String {
+    let path = match variant {
+        Some(v) => format!("{name}::{v}"),
+        None => name.to_string(),
+    };
+    match fields {
+        VariantFields::Unit => path,
+        VariantFields::Tuple(fs) => {
+            let args: Vec<String> = (0..fs.len()).map(|i| format!("__f{i}")).collect();
+            format!("{path}({})", args.join(", "))
+        }
+        VariantFields::Named(fs) => {
+            let args: Vec<String> = fs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{}: __f{i}", f.name))
+                .collect();
+            format!("{path} {{ {} }}", args.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let (visitor_impl, entry) = match &item.kind {
+        Kind::UnitStruct => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n"
+            ),
+            format!(
+                "::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+        Kind::TupleStruct(fields) if fields.len() == 1 => (
+            format!(
+                "fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2)\n\
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n"
+            ),
+            format!(
+                "::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+        Kind::TupleStruct(fields) => {
+            let lets = de_field_lets(fields, "__A", "t");
+            let cons = construct(name, None, &VariantFields::Tuple(fields.iter().map(clone_field).collect()));
+            let n = fields.len();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {lets}\n\
+                         ::core::result::Result::Ok({cons})\n\
+                     }}\n"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, __Visitor)"
+                ),
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let lets = de_field_lets(fields, "__A", "s");
+            let cons = construct(name, None, &VariantFields::Named(fields.iter().map(clone_field).collect()));
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {lets}\n\
+                         ::core::result::Result::Ok({cons})\n\
+                     }}\n"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __Visitor)",
+                    field_names.join(", ")
+                ),
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{vi}u32 => {{\n\
+                                 ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                                 ::core::result::Result::Ok({name}::{vname})\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) if fields.len() == 1 && fields[0].with.is_none() => {
+                        arms.push_str(&format!(
+                            "{vi}u32 => ::core::result::Result::Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) if fields.len() == 1 => {
+                        // Newtype variant with a `with` module.
+                        let module = fields[0].with.as_ref().unwrap();
+                        let ty = &fields[0].ty;
+                        arms.push_str(&format!(
+                            "{vi}u32 => {{\n\
+                                 struct __Seed{vi};\n\
+                                 impl<'de> ::serde::de::DeserializeSeed<'de> for __Seed{vi} {{\n\
+                                     type Value = {ty};\n\
+                                     fn deserialize<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2)\n\
+                                         -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                                         {module}::deserialize(__d)\n\
+                                     }}\n\
+                                 }}\n\
+                                 ::core::result::Result::Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant_seed(__variant, __Seed{vi})?))\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) => {
+                        let lets = de_field_lets(fields, "__A2", &format!("v{vi}x"));
+                        let cons = construct(name, Some(vname), &VariantFields::Tuple(fields.iter().map(clone_field).collect()));
+                        let n = fields.len();
+                        arms.push_str(&format!(
+                            "{vi}u32 => {{\n\
+                                 struct __VariantVisitor{vi};\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __VariantVisitor{vi} {{\n\
+                                     type Value = {name};\n\
+                                     fn visit_seq<__A2: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A2)\n\
+                                         -> ::core::result::Result<Self::Value, __A2::Error> {{\n\
+                                         {lets}\n\
+                                         ::core::result::Result::Ok({cons})\n\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __VariantVisitor{vi})\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let lets = de_field_lets(fields, "__A2", &format!("v{vi}x"));
+                        let cons = construct(name, Some(vname), &VariantFields::Named(fields.iter().map(clone_field).collect()));
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                        arms.push_str(&format!(
+                            "{vi}u32 => {{\n\
+                                 struct __VariantVisitor{vi};\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __VariantVisitor{vi} {{\n\
+                                     type Value = {name};\n\
+                                     fn visit_seq<__A2: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A2)\n\
+                                         -> ::core::result::Result<Self::Value, __A2::Error> {{\n\
+                                         {lets}\n\
+                                         ::core::result::Result::Ok({cons})\n\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __VariantVisitor{vi})\n\
+                             }}\n",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::custom(\"unknown variant index\")),\n\
+                         }}\n\
+                     }}\n"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], __Visitor)",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"{name}\")\n\
+                     }}\n\
+                     {visitor_impl}\n\
+                 }}\n\
+                 {entry}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn clone_field(f: &Field) -> Field {
+    Field {
+        name: f.name.clone(),
+        ty: f.ty.clone(),
+        with: f.with.clone(),
+    }
+}
