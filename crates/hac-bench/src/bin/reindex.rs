@@ -1,0 +1,157 @@
+//! Reindex-pipeline throughput: cold pass, warm (unchanged-tree) pass, and
+//! the tokenize-phase parallel speedup, emitted as `BENCH_reindex.json`.
+//!
+//! `cargo run -p hac-bench --release --bin reindex`
+//!
+//! Flags: `--files N --words N --semdirs-extra N --threads N` scale the
+//! corpus and the parallel run; `--smoke` shrinks everything to CI size;
+//! `--out PATH` moves the JSON snapshot (default `BENCH_reindex.json`).
+
+use std::time::{Duration, Instant};
+
+use hac_bench::{arg_flag, arg_str, arg_usize, report_metrics_snapshot};
+use hac_core::{HacConfig, HacFs};
+use hac_corpus::{generate_docs, term_for_selectivity, DocCollectionSpec, Selectivity};
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).unwrap()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Builds a populated HAC instance (corpus + semantic directories over the
+/// three Table-4 selectivity classes) that has **not** yet run a reindex
+/// pass: `ssync("/")` on the result is a cold pass.
+fn build_fs(threads: usize, spec: &DocCollectionSpec, extra_semdirs: usize) -> HacFs {
+    let fs = HacFs::with_config(HacConfig {
+        reindex_threads: threads,
+        ..Default::default()
+    });
+    generate_docs(fs.vfs(), &p("/db"), spec).expect("corpus");
+    for (i, sel) in [
+        Selectivity::Many,
+        Selectivity::Intermediate,
+        Selectivity::Few,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let term = term_for_selectivity(spec, sel);
+        fs.smkdir(&p(&format!("/q{i}")), &term).expect("smkdir");
+    }
+    // Extra narrow directories so the warm pass has a realistic population
+    // of semdirs to *skip*.
+    for i in 0..extra_semdirs {
+        let term = term_for_selectivity(spec, Selectivity::Few);
+        fs.smkdir(&p(&format!("/x{i}")), &format!("{term} OR zqx{i}"))
+            .expect("smkdir extra");
+    }
+    fs
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let spec = DocCollectionSpec {
+        files: arg_usize("files", if smoke { 80 } else { 1500 }),
+        mean_words: arg_usize("words", if smoke { 40 } else { 150 }),
+        vocab: if smoke { 800 } else { 8000 },
+        ..Default::default()
+    };
+    let extra_semdirs = arg_usize("semdirs-extra", if smoke { 4 } else { 9 });
+    let par_threads = arg_usize(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+
+    // Cold pass, single tokenize worker.
+    let fs1 = build_fs(1, &spec, extra_semdirs);
+    let t = Instant::now();
+    let cold1 = fs1.ssync(&p("/")).expect("cold ssync (1 thread)");
+    let cold1_time = t.elapsed();
+
+    // Warm passes on the untouched tree (same instance): median of 5.
+    let mut warm_times = Vec::new();
+    let mut warm_dirs = 0u64;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let warm = fs1.ssync(&p("/")).expect("warm ssync");
+        warm_times.push(t.elapsed());
+        warm_dirs = warm_dirs.max(warm.dirs_synced);
+        assert_eq!(warm.added + warm.updated + warm.removed, 0);
+    }
+    warm_times.sort();
+    let warm_time = warm_times[warm_times.len() / 2];
+
+    // One-file incremental pass: touch a single document, resync.
+    fs1.append(&p("/db/d0000/doc000000.txt"), b" benchward")
+        .expect("touch");
+    let t = Instant::now();
+    let incr = fs1.ssync(&p("/")).expect("incremental ssync");
+    let incr_time = t.elapsed();
+
+    // Cold pass again on a fresh instance with the parallel tokenizer.
+    let fsn = build_fs(par_threads, &spec, extra_semdirs);
+    let t = Instant::now();
+    let coldn = fsn.ssync(&p("/")).expect("cold ssync (parallel)");
+    let coldn_time = t.elapsed();
+    assert_eq!(
+        coldn.added, cold1.added,
+        "parallel pass must index the same docs"
+    );
+
+    let semdirs = 3 + extra_semdirs;
+    let warm_speedup = cold1_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+    let par_speedup = cold1_time.as_secs_f64() / coldn_time.as_secs_f64().max(1e-9);
+
+    println!(
+        "Reindex pipeline bench ({} files, {} semdirs)",
+        spec.files, semdirs
+    );
+    println!(
+        "  cold pass, 1 thread       : {:>10.3} ms  ({} docs indexed, {} semdirs synced)",
+        ms(cold1_time),
+        cold1.added,
+        cold1.dirs_synced
+    );
+    println!(
+        "  cold pass, {:>2} threads     : {:>10.3} ms  (speedup {par_speedup:.2}x)",
+        par_threads,
+        ms(coldn_time)
+    );
+    println!("  warm pass (unchanged tree): {:>10.3} ms  ({warm_dirs} semdirs synced, {warm_speedup:.1}x under cold)",
+        ms(warm_time));
+    println!(
+        "  incremental (1 file touch): {:>10.3} ms  ({} semdirs synced)",
+        ms(incr_time),
+        incr.dirs_synced
+    );
+
+    // The pipeline's contract, checked on every run: an unchanged tree
+    // re-evaluates nothing and is far cheaper than the cold pass.
+    assert_eq!(warm_dirs, 0, "warm pass re-evaluated a semdir");
+    assert!(
+        warm_speedup >= 5.0,
+        "warm pass only {warm_speedup:.1}x faster than cold (need >=5x)"
+    );
+
+    let out = arg_str("out").unwrap_or_else(|| "BENCH_reindex.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"reindex\",\n  \"smoke\": {smoke},\n  \"corpus\": {{ \"files\": {files}, \"mean_words\": {words} }},\n  \"semdirs\": {semdirs},\n  \"cold_pass_1thread_ms\": {cold1_ms:.3},\n  \"cold_pass_parallel_ms\": {coldn_ms:.3},\n  \"parallel_threads\": {par_threads},\n  \"parallel_speedup\": {par_speedup:.3},\n  \"warm_pass_ms\": {warm_ms:.3},\n  \"warm_pass_semdirs_synced\": {warm_dirs},\n  \"warm_speedup_vs_cold\": {warm_speedup:.1},\n  \"incremental_1file_ms\": {incr_ms:.3},\n  \"incremental_1file_semdirs_synced\": {incr_dirs},\n  \"docs_indexed_cold\": {added}\n}}\n",
+        files = spec.files,
+        words = spec.mean_words,
+        cold1_ms = ms(cold1_time),
+        coldn_ms = ms(coldn_time),
+        warm_ms = ms(warm_time),
+        incr_ms = ms(incr_time),
+        incr_dirs = incr.dirs_synced,
+        added = cold1.added,
+    );
+    std::fs::write(&out, json).expect("write BENCH_reindex.json");
+    println!("\nsnapshot: {out}");
+    report_metrics_snapshot("reindex");
+}

@@ -8,9 +8,10 @@
 //! * [`tables`] — runners producing each table's rows.
 //!
 //! Binaries (`cargo run -p hac-bench --release --bin <name>`):
-//! `table1`, `table2`, `table3`, `table4`, `overheads`, `all_tables`.
-//! Scale knobs are flags, e.g. `--files 17000` for the paper-scale
-//! Table 3; defaults are laptop-sized.
+//! `table1`, `table2`, `table3`, `table4`, `overheads`, `all_tables`,
+//! `reindex` (pipeline throughput: cold/warm/incremental passes →
+//! `BENCH_reindex.json`). Scale knobs are flags, e.g. `--files 17000`
+//! for the paper-scale Table 3; defaults are laptop-sized.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,6 +13,13 @@
 //! kept in the `hac_reindex_last_error_pass` gauge, and the error text is
 //! retained in the [`DaemonStatus`] visible through
 //! [`ReindexDaemon::status`] and returned by [`ReindexDaemon::stop`].
+//!
+//! Consecutive failures back off exponentially (with jitter, capped at
+//! [`MAX_BACKOFF_FACTOR`]× the configured interval) instead of hammering a
+//! broken index or unreachable mount at full cadence; the first success
+//! snaps the cadence back. The live backoff is surfaced in
+//! [`DaemonStatus::current_backoff`] and the `hac_reindex_backoff_ms`
+//! gauge.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,6 +33,9 @@ use hac_vfs::VPath;
 use crate::fs::HacFs;
 use crate::state::SyncReport;
 
+/// Ceiling of the failure backoff, as a multiple of the base interval.
+pub const MAX_BACKOFF_FACTOR: u32 = 64;
+
 /// Pass accounting for a (possibly still running) daemon.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DaemonStatus {
@@ -35,6 +45,11 @@ pub struct DaemonStatus {
     pub failed_passes: u64,
     /// Error text of the most recent failed pass, if any.
     pub last_error: Option<String>,
+    /// Failures since the last successful pass.
+    pub consecutive_failures: u64,
+    /// Delay before the next retry when backing off after failures;
+    /// `None` while healthy (ticking at the base interval).
+    pub current_backoff: Option<Duration>,
 }
 
 impl DaemonStatus {
@@ -66,31 +81,57 @@ impl ReindexDaemon {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let status = Arc::new(Mutex::new(DaemonStatus::default()));
         let thread_status = Arc::clone(&status);
-        let handle = std::thread::spawn(move || loop {
-            match stop_rx.recv_timeout(interval) {
-                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    let result = tick(&fs);
-                    let mut status = thread_status.lock();
-                    match result {
-                        Ok(()) => {
-                            status.ok_passes += 1;
-                            hac_obs::counter("hac_reindex_passes_total", &[("outcome", "ok")])
+        let handle = std::thread::spawn(move || {
+            // Seeded off the interval only: determinism across runs matters
+            // more than unpredictability, jitter just de-syncs daemons that
+            // happen to fail together.
+            let mut jitter_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (interval.as_nanos() as u64 | 1);
+            let mut wait = interval;
+            loop {
+                match stop_rx.recv_timeout(wait) {
+                    Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        let result = tick(&fs);
+                        let mut status = thread_status.lock();
+                        match result {
+                            Ok(()) => {
+                                status.ok_passes += 1;
+                                status.consecutive_failures = 0;
+                                status.current_backoff = None;
+                                wait = interval;
+                                hac_obs::counter("hac_reindex_passes_total", &[("outcome", "ok")])
+                                    .inc();
+                                hac_obs::gauge("hac_reindex_backoff_ms", &[]).set(0);
+                            }
+                            Err(e) => {
+                                // Keep retrying on later ticks, but make the
+                                // failure observable instead of swallowing it,
+                                // and back off so a persistently broken pass
+                                // (unreachable mount, corrupt index) is not
+                                // hammered at full cadence.
+                                status.failed_passes += 1;
+                                status.consecutive_failures += 1;
+                                status.last_error = Some(e.to_string());
+                                wait = backoff_delay(
+                                    interval,
+                                    status.consecutive_failures,
+                                    &mut jitter_state,
+                                );
+                                status.current_backoff = Some(wait);
+                                hac_obs::counter(
+                                    "hac_reindex_passes_total",
+                                    &[("outcome", "failed")],
+                                )
                                 .inc();
-                        }
-                        Err(e) => {
-                            // Keep retrying on later ticks, but make the
-                            // failure observable instead of swallowing it.
-                            status.failed_passes += 1;
-                            status.last_error = Some(e.to_string());
-                            hac_obs::counter("hac_reindex_passes_total", &[("outcome", "failed")])
-                                .inc();
-                            hac_obs::gauge("hac_reindex_last_error_pass", &[])
-                                .set(status.total_passes() as i64);
-                            hac_obs::global().event(
-                                "reindex_pass_failed",
-                                vec![("error".to_string(), e.to_string())],
-                            );
+                                hac_obs::gauge("hac_reindex_last_error_pass", &[])
+                                    .set(status.total_passes() as i64);
+                                hac_obs::gauge("hac_reindex_backoff_ms", &[])
+                                    .set(wait.as_millis() as i64);
+                                hac_obs::global().event(
+                                    "reindex_pass_failed",
+                                    vec![("error".to_string(), e.to_string())],
+                                );
+                            }
                         }
                     }
                 }
@@ -122,6 +163,31 @@ impl ReindexDaemon {
         }
         self.status.lock().clone()
     }
+}
+
+/// Delay before the next pass after `consecutive_failures` failures in a
+/// row: `interval × 2^(failures-1)`, capped at [`MAX_BACKOFF_FACTOR`]×, plus
+/// up to 25% jitter so co-failing daemons do not retry in lockstep.
+fn backoff_delay(
+    interval: Duration,
+    consecutive_failures: u64,
+    jitter_state: &mut u64,
+) -> Duration {
+    let exp = consecutive_failures.saturating_sub(1).min(31) as u32;
+    let factor = 1u32
+        .checked_shl(exp)
+        .unwrap_or(MAX_BACKOFF_FACTOR)
+        .min(MAX_BACKOFF_FACTOR);
+    let base = interval.saturating_mul(factor);
+    // xorshift64 — cheap deterministic jitter, no external RNG dependency.
+    let mut x = *jitter_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *jitter_state = x;
+    let quarter_ns = (base.as_nanos() / 4).min(u64::MAX as u128) as u64;
+    let jitter = if quarter_ns == 0 { 0 } else { x % quarter_ns };
+    base + Duration::from_nanos(jitter)
 }
 
 impl Drop for ReindexDaemon {
@@ -202,6 +268,12 @@ mod tests {
             "retry must continue after a failure"
         );
         assert_eq!(status.ok_passes, 0);
+        assert!(status.consecutive_failures >= 2);
+        let backoff = status.current_backoff.expect("failing daemon backs off");
+        assert!(
+            backoff >= Duration::from_millis(10),
+            "≥2 consecutive failures must at least double the 5ms cadence, got {backoff:?}"
+        );
         let err = status.last_error.expect("last error retained");
         assert!(err.contains("boom"), "unexpected error text: {err}");
         let after = hac_obs::snapshot()
@@ -214,5 +286,61 @@ mod tests {
                 .unwrap()
                 >= 1
         );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_capped() {
+        let interval = Duration::from_millis(10);
+        let mut rng = 42u64;
+        let mut prev = Duration::ZERO;
+        for failures in 1..=7u64 {
+            let d = backoff_delay(interval, failures, &mut rng);
+            let base = interval * (1u32 << (failures - 1).min(31));
+            assert!(d >= base, "failure #{failures}: {d:?} < base {base:?}");
+            assert!(
+                d <= base + base / 4,
+                "failure #{failures}: jitter exceeds 25% ({d:?} vs {base:?})"
+            );
+            assert!(d > prev, "backoff must grow while under the cap");
+            prev = d;
+        }
+        // Far beyond the cap, the delay stays at MAX_BACKOFF_FACTOR× (+jitter).
+        let capped = backoff_delay(interval, 1_000, &mut rng);
+        let ceiling = interval * MAX_BACKOFF_FACTOR;
+        assert!(capped >= ceiling && capped <= ceiling + ceiling / 4);
+    }
+
+    #[test]
+    fn backoff_resets_after_a_successful_pass() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let fs = Arc::new(HacFs::new());
+        let calls = Arc::new(AtomicU64::new(0));
+        let tick_calls = Arc::clone(&calls);
+        // Fail twice, then succeed forever.
+        let daemon =
+            ReindexDaemon::spawn_with(Arc::clone(&fs), Duration::from_millis(2), move |_| {
+                if tick_calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(crate::error::HacError::Remote(
+                        crate::remote::RemoteError::Unavailable("transient".to_string()),
+                    ))
+                } else {
+                    Ok(())
+                }
+            });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while daemon.status().ok_passes < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never recovered from transient failures"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let status = daemon.stop();
+        assert_eq!(status.failed_passes, 2);
+        assert!(status.ok_passes >= 1);
+        assert_eq!(status.consecutive_failures, 0, "success resets the streak");
+        assert_eq!(status.current_backoff, None, "success clears the backoff");
+        // (The hac_reindex_backoff_ms gauge is global and other daemon tests
+        // run concurrently, so its value is asserted via DaemonStatus only.)
     }
 }

@@ -31,6 +31,19 @@ use crate::scope::Scope;
 use crate::semdir::{LinkKind, LinkState, LinkTarget, SemDir};
 use crate::state::{decode_remote_target, HacConfig, HacState, SyncReport, VfsProvider};
 
+/// ASCII-case-insensitive substring search without allocating a lowered
+/// copy of the haystack. The needle must already be lowercase.
+fn contains_ignore_ascii_case(haystack: &str, needle: &str) -> bool {
+    let (h, n) = (haystack.as_bytes(), needle.as_bytes());
+    if n.is_empty() {
+        return true;
+    }
+    if n.len() > h.len() {
+        return false;
+    }
+    h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
 /// One entry of [`HacFs::list_links`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkInfo {
@@ -218,6 +231,7 @@ impl HacFs {
         }
         state.index_file(&self.vfs, &self.registry, path, id);
         let roots = self.ancestor_uids(&state, path);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -255,6 +269,7 @@ impl HacFs {
             }
         }
         let roots = self.ancestor_uids(&state, path);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -296,6 +311,7 @@ impl HacFs {
         }
         self.vfs.unlink(path)?;
         let roots = self.ancestor_uids(&state, path);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -309,6 +325,7 @@ impl HacFs {
         let mut state = self.state.write();
         self.forget_dir(&mut state, id);
         let roots = self.ancestor_uids(&state, path);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -332,6 +349,7 @@ impl HacFs {
         }
         self.vfs.remove_recursive(path)?;
         let roots = self.ancestor_uids(&state, path);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -339,6 +357,7 @@ impl HacFs {
     }
 
     fn forget_dir(&self, state: &mut HacState, id: FileId) {
+        state.unregister_semdir(id);
         state.semdirs.remove(&id);
         state.mounts.remove(&id);
         if let Some(uid) = state.uids.remove_dir(id) {
@@ -462,6 +481,7 @@ impl HacFs {
         if let Some(uid) = state.uids.get_uid(attr.id) {
             roots.push(uid);
         }
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -516,6 +536,7 @@ impl HacFs {
             return Err(e);
         }
         let uid = state.uids.uid_for(dir);
+        state.register_semdir_query(dir, &query.expr);
         state.semdirs.insert(dir, SemDir::new(uid, dir, query));
         state.resync_dir(&self.vfs, &self.registry, dir)?;
         Ok(dir)
@@ -532,6 +553,7 @@ impl HacFs {
             return Err(HacError::NotSemantic(path.clone()));
         }
         state.install_query_edges(&self.vfs, dir, &mut query, path)?;
+        state.register_semdir_query(dir, &query.expr);
         state
             .semdirs
             .get_mut(&dir)
@@ -539,6 +561,7 @@ impl HacFs {
             .query = query;
         state.resync_dir(&self.vfs, &self.registry, dir)?;
         let uid = state.uids.uid_for(dir);
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, [uid])?;
         }
@@ -571,15 +594,45 @@ impl HacFs {
     }
 
     /// `ssync`: re-indexes the subtree at `path`, repairs renamed link
-    /// targets, and re-evaluates every semantic directory in dependency
-    /// order. This is the paper's explicit reindex trigger; the periodic
-    /// daemon calls it too.
+    /// targets, and re-evaluates the semantic directories the pass dirtied.
+    /// This is the paper's explicit reindex trigger; the periodic daemon
+    /// calls it too.
+    ///
+    /// The pass runs as a three-phase pipeline so that queries keep being
+    /// served while content is tokenized:
+    ///
+    /// 1. **plan** — a short read lock snapshots the walk (paths, inodes,
+    ///    versions) and diffs it against the index;
+    /// 2. **tokenize** — changed files are read and run through the
+    ///    transducers on `reindex_threads` workers with *no* state lock
+    ///    held (the namespace is internally synchronized);
+    /// 3. **apply** — one short write phase lands the posting deltas,
+    ///    then re-evaluates only the semantic directories whose query terms
+    ///    intersect the dirty postings or whose results contain dirty docs
+    ///    (plus transitive dependents). An unchanged tree re-evaluates
+    ///    nothing.
     pub fn ssync(&self, path: &VPath) -> HacResult<SyncReport> {
         let mut span = hac_obs::span!("ssync", path = path);
+        let (plan, threads) = {
+            let state = self.state.read();
+            let threads = state.config.effective_reindex_threads();
+            (state.plan_sync(&self.vfs, path), threads)
+        };
+        let tokenize_start = std::time::Instant::now();
+        let docs = crate::state::tokenize_plan(&self.vfs, &self.registry, &plan, threads);
+        hac_obs::gauge("hac_reindex_tokenize_threads", &[])
+            .set(threads.clamp(1, plan.to_index.len().max(1)) as i64);
+        hac_obs::histogram("hac_reindex_tokenize_duration_us", &[])
+            .record(tokenize_start.elapsed().as_micros() as u64);
         let mut state = self.state.write();
-        let mut report = state.sync_subtree(&self.vfs, &self.registry, path);
+        let (mut report, dirty) = state.apply_sync(&self.vfs, &plan, docs);
         report.links_repaired = state.repair_links(&self.vfs)?;
-        report.dirs_synced = state.resync_all(&self.vfs, &self.registry)?;
+        report.dirs_synced = if state.pending_scope_sync {
+            state.pending_scope_sync = false;
+            state.resync_all(&self.vfs, &self.registry)?
+        } else {
+            state.resync_dirty(&self.vfs, &self.registry, &dirty)?
+        };
         span.field("added", report.added);
         span.field("removed", report.removed);
         hac_obs::counter("hac_ssync_passes_total", &[]).inc();
@@ -594,8 +647,9 @@ impl HacFs {
     pub fn reindex_full(&self) -> HacResult<SyncReport> {
         {
             let mut state = self.state.write();
-            let granularity = state.config.granularity;
-            state.index = hac_index::Index::new(granularity);
+            state.reset_index();
+            // Every semdir must re-evaluate against the fresh index.
+            state.pending_scope_sync = true;
         }
         self.ssync(&VPath::root())
     }
@@ -614,6 +668,7 @@ impl HacFs {
         if let Some(uid) = state.uids.get_uid(dir) {
             roots.push(uid);
         }
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -646,6 +701,7 @@ impl HacFs {
         if let Some(uid) = state.uids.get_uid(dir) {
             roots.push(uid);
         }
+        state.note_structural_change();
         if state.config.auto_scope_sync {
             state.resync_dependents(&self.vfs, &self.registry, roots)?;
         }
@@ -678,22 +734,27 @@ impl HacFs {
             .semdirs
             .get(&parent)
             .ok_or_else(|| HacError::NoQueryContext(link.clone()))?;
+        // Needles are lowercased once at extraction (a mixed-case query
+        // term would otherwise never match the case-folded comparison) and
+        // matching is allocation-free per line.
         let mut needles: Vec<String> = Vec::new();
         sd.query.expr.walk(&mut |e| match e {
-            hac_query::QueryExpr::Term(t) => needles.push(t.clone()),
-            hac_query::QueryExpr::Field(_, v) => needles.push(v.clone()),
-            hac_query::QueryExpr::Phrase(ws) => needles.extend(ws.iter().cloned()),
-            hac_query::QueryExpr::Approx(t, _) => needles.push(t.clone()),
+            hac_query::QueryExpr::Term(t) => needles.push(t.to_ascii_lowercase()),
+            hac_query::QueryExpr::Field(_, v) => needles.push(v.to_ascii_lowercase()),
+            hac_query::QueryExpr::Phrase(ws) => {
+                needles.extend(ws.iter().map(|w| w.to_ascii_lowercase()))
+            }
+            hac_query::QueryExpr::Approx(t, _) => needles.push(t.to_ascii_lowercase()),
+            hac_query::QueryExpr::Prefix(t) => needles.push(t.to_ascii_lowercase()),
             _ => {}
         });
+        needles.sort();
+        needles.dedup();
         let content = self.fetch_link_bytes(&state, link)?;
         let text = String::from_utf8_lossy(&content);
         Ok(text
             .lines()
-            .filter(|line| {
-                let lower = line.to_ascii_lowercase();
-                needles.iter().any(|n| lower.contains(n.as_str()))
-            })
+            .filter(|line| needles.iter().any(|n| contains_ignore_ascii_case(line, n)))
             .map(str::to_string)
             .collect())
     }
@@ -791,6 +852,7 @@ impl HacFs {
         let removed = sd.prohibited.remove(target);
         if removed {
             state.persist_dir(&self.vfs, dir);
+            state.note_structural_change();
             if state.config.auto_scope_sync {
                 state.resync_dir(&self.vfs, &self.registry, dir)?;
                 let uid = state.uids.uid_for(dir);
@@ -831,7 +893,12 @@ impl HacFs {
         let Ok(index) = hac_vfs::persist::decode_value::<hac_index::Index>(&bytes) else {
             return Ok(false);
         };
-        self.state.write().index = index;
+        let mut state = self.state.write();
+        state.index = index;
+        // The loaded index restarts the generation lineage; cached results
+        // keyed against the old lineage must not validate against it.
+        state.result_cache.clear();
+        state.rebuild_doc_paths(&self.vfs);
         Ok(true)
     }
 
@@ -930,6 +997,7 @@ impl HacFs {
                     sd.prohibited.insert(target);
                 }
             }
+            state.register_semdir_query(dir, &sd.query.expr);
             state.semdirs.insert(dir, sd);
             recovered += 1;
         }

@@ -23,6 +23,7 @@
 
 pub mod daemon;
 pub mod depgraph;
+pub mod dirty;
 pub mod error;
 pub mod fs;
 pub mod remote;
@@ -33,6 +34,7 @@ pub mod uidmap;
 
 pub use daemon::{DaemonStatus, ReindexDaemon};
 pub use depgraph::{DepGraph, EdgeKind};
+pub use dirty::{DirtySet, DocPathMap, QueryIndex};
 pub use error::{HacError, HacResult};
 pub use fs::{HacFs, LinkInfo};
 pub use remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};

@@ -14,14 +14,16 @@
 //!   daemon), never instantly.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hac_index::engine::DocProvider;
-use hac_index::{Bitmap, DocId, Granularity, Index, Token, TransducerRegistry};
+use hac_index::{Bitmap, DocDelta, DocId, Granularity, Index, Token, TransducerRegistry};
 use hac_query::{DirRef, DirUid, Query, QueryExpr};
 use hac_vfs::{FileId, NodeKind, VPath, Vfs, VfsError};
 
 use crate::depgraph::{DepGraph, EdgeKind};
+use crate::dirty::{DirtySet, DocPathMap, QueryIndex};
 use crate::error::{HacError, HacResult};
 use crate::remote::{NamespaceId, RemoteQuerySystem};
 use crate::scope::Scope;
@@ -107,6 +109,9 @@ pub struct HacConfig {
     /// representations" the paper plans "so that it is possible to index a
     /// very large number of files".
     pub sparse_results: bool,
+    /// Worker threads for the tokenize phase of a reindex pass. `0` (the
+    /// default) sizes to the machine's available parallelism.
+    pub reindex_threads: usize,
 }
 
 impl Default for HacConfig {
@@ -116,6 +121,20 @@ impl Default for HacConfig {
             auto_scope_sync: true,
             eager_content_index: false,
             sparse_results: false,
+            reindex_threads: 0,
+        }
+    }
+}
+
+impl HacConfig {
+    /// The tokenize-phase thread count this configuration resolves to.
+    pub fn effective_reindex_threads(&self) -> usize {
+        if self.reindex_threads > 0 {
+            self.reindex_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -133,6 +152,134 @@ pub struct SyncReport {
     pub dirs_synced: u64,
     /// Broken permanent/transient symlinks repaired (target renamed).
     pub links_repaired: u64,
+}
+
+/// One file a [`SyncPlan`] schedules for (re)tokenization.
+#[derive(Debug, Clone)]
+pub struct PlannedDoc {
+    /// Path as of the planning walk.
+    pub path: VPath,
+    /// The file's inode.
+    pub id: FileId,
+}
+
+/// The snapshot phase of a reindex pass: everything `ssync` must do,
+/// computed under a short read lock so tokenization can run lock-free.
+#[derive(Debug, Clone)]
+pub struct SyncPlan {
+    /// The subtree being synchronized.
+    pub root: VPath,
+    /// Files whose indexed version differs from the walk (new or changed).
+    pub to_index: Vec<PlannedDoc>,
+    /// Unchanged docs whose recorded path moved (rename observed by walk).
+    pub refresh_paths: Vec<(DocId, VPath)>,
+    /// Docs recorded under the root but absent from the walk; verified
+    /// against the live namespace before removal.
+    pub stale_candidates: Vec<DocId>,
+}
+
+impl SyncPlan {
+    /// True when the pass has nothing to tokenize, refresh, or remove.
+    pub fn is_empty(&self) -> bool {
+        self.to_index.is_empty()
+            && self.refresh_paths.is_empty()
+            && self.stale_candidates.is_empty()
+    }
+}
+
+/// One tokenized file, ready for the apply phase.
+#[derive(Debug, Clone)]
+pub struct TokenizedDoc {
+    /// Path the content was read from.
+    pub path: VPath,
+    /// The posting delta.
+    pub delta: DocDelta,
+}
+
+/// The middle phase of the reindex pipeline: reads and tokenizes every
+/// planned file *without holding the state lock* (the [`Vfs`] is internally
+/// synchronized), fanning out over `threads` scoped workers. Files that
+/// vanished or changed identity since the plan was taken are skipped — the
+/// next pass reconciles them, per the paper's lazy-consistency contract.
+///
+/// Results come back in plan order regardless of which worker produced
+/// them, so block-granularity doc→block assignment stays deterministic.
+pub fn tokenize_plan(
+    vfs: &Vfs,
+    registry: &TransducerRegistry,
+    plan: &SyncPlan,
+    threads: usize,
+) -> Vec<TokenizedDoc> {
+    let n = plan.to_index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let tokenize_one = |planned: &PlannedDoc| -> Option<TokenizedDoc> {
+        let attr = vfs.lstat(&planned.path).ok()?;
+        if attr.kind != NodeKind::File || attr.id != planned.id {
+            return None;
+        }
+        let content = vfs.read_file(&planned.path).ok()?;
+        let name = planned.path.file_name().unwrap_or("");
+        let tokens = extract_tokens(registry, name, &content);
+        Some(TokenizedDoc {
+            path: planned.path.clone(),
+            delta: DocDelta {
+                doc: DocId(planned.id.0),
+                version: attr.version,
+                tokens,
+            },
+        })
+    };
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return plan.to_index.iter().filter_map(tokenize_one).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<TokenizedDoc>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(td) = tokenize_one(&plan.to_index[i]) {
+                            local.push((i, td));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, td) in h.join().expect("tokenize worker panicked") {
+                slots[i] = Some(td);
+            }
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// A cached raw query result: [`HacState::resync_dir`] reuses it when the
+/// index generation, the universe fingerprint, and the query text all still
+/// match. Only the *raw* `eval_local` output is cached — prohibited /
+/// permanent / physically-present filtering runs on every resync, because
+/// those sets belong to the user and change without touching the index.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Source text of the query that produced the result.
+    pub query_src: String,
+    /// Index generation the result was computed against.
+    pub generation: u64,
+    /// Fingerprint of the local universe bitmap.
+    pub scope_fp: u64,
+    /// The raw local result.
+    pub result: Bitmap,
 }
 
 /// Token provider that re-tokenizes live file content through the
@@ -193,6 +340,18 @@ pub struct HacState {
     pub mounts: HashMap<FileId, Vec<Arc<dyn RemoteQuerySystem>>>,
     /// Configuration.
     pub config: HacConfig,
+    /// Term→semdir inverted query index driving incremental invalidation.
+    pub query_index: QueryIndex,
+    /// The path each document was last indexed under (stale-entry detection
+    /// proportional to the subtree, not the index).
+    pub doc_paths: DocPathMap,
+    /// Per-directory cached raw query results.
+    pub result_cache: HashMap<FileId, CachedResult>,
+    /// Set when a structural mutation ran with `auto_scope_sync` disabled:
+    /// the dirty-set seeding below assumes scopes were consistent at the
+    /// start of the pass, so the next `ssync` must fall back to a full
+    /// re-evaluation.
+    pub pending_scope_sync: bool,
 }
 
 impl HacState {
@@ -209,6 +368,10 @@ impl HacState {
             graph: DepGraph::new(),
             mounts: HashMap::new(),
             config,
+            query_index: QueryIndex::new(),
+            doc_paths: DocPathMap::new(),
+            result_cache: HashMap::new(),
+            pending_scope_sync: false,
         }
     }
 
@@ -247,24 +410,55 @@ impl HacState {
         let name = path.file_name().unwrap_or("");
         let tokens = extract_tokens(registry, name, &content);
         self.index.add_doc(Self::doc(id), attr.version, &tokens);
+        self.doc_paths.record(Self::doc(id), path);
         true
     }
 
     /// Drops a file from the index.
     pub fn deindex_file(&mut self, id: FileId) {
         self.index.remove_doc(Self::doc(id));
+        self.doc_paths.forget(Self::doc(id));
     }
 
     /// Re-indexes every file under `root`, removing index entries whose
     /// files vanished from that subtree. This is the content half of
     /// `ssync`; scope resynchronization follows separately.
+    ///
+    /// Runs the plan → tokenize → apply pipeline inline (single-threaded,
+    /// under the caller's lock); [`crate::HacFs::ssync`] splits the phases
+    /// across lock boundaries instead.
     pub fn sync_subtree(
         &mut self,
         vfs: &Vfs,
         registry: &TransducerRegistry,
         root: &VPath,
     ) -> SyncReport {
-        let mut report = SyncReport::default();
+        self.sync_subtree_dirty(vfs, registry, root).0
+    }
+
+    /// Like [`HacState::sync_subtree`], also returning the dirty set for
+    /// incremental scope resynchronization.
+    pub fn sync_subtree_dirty(
+        &mut self,
+        vfs: &Vfs,
+        registry: &TransducerRegistry,
+        root: &VPath,
+    ) -> (SyncReport, DirtySet) {
+        let plan = self.plan_sync(vfs, root);
+        let docs = tokenize_plan(vfs, registry, &plan, 1);
+        self.apply_sync(vfs, &plan, docs)
+    }
+
+    /// Snapshot phase of a reindex pass (shared lock): walks the subtree
+    /// and records what must be tokenized, which recorded paths moved, and
+    /// which recorded docs vanished from the walk.
+    pub fn plan_sync(&self, vfs: &Vfs, root: &VPath) -> SyncPlan {
+        let mut plan = SyncPlan {
+            root: root.clone(),
+            to_index: Vec::new(),
+            refresh_paths: Vec::new(),
+            stale_candidates: Vec::new(),
+        };
         let mut seen: HashSet<u64> = HashSet::new();
         if let Ok(entries) = hac_vfs::walk(vfs, root) {
             for entry in entries {
@@ -272,38 +466,81 @@ impl HacState {
                     continue;
                 }
                 seen.insert(entry.attr.id.0);
-                let was = self.index.indexed_version(Self::doc(entry.attr.id));
-                if self.index_file(vfs, registry, &entry.path, entry.attr.id) {
-                    if was.is_none() {
-                        report.added += 1;
-                    } else {
-                        report.updated += 1;
-                    }
+                let doc = Self::doc(entry.attr.id);
+                if self.index.indexed_version(doc) != Some(entry.attr.version) {
+                    plan.to_index.push(PlannedDoc {
+                        path: entry.path,
+                        id: entry.attr.id,
+                    });
+                } else if self.doc_paths.path_of(doc) != Some(entry.path.to_string().as_str()) {
+                    plan.refresh_paths.push((doc, entry.path));
                 }
             }
         }
-        // Remove stale docs that used to live under this subtree.
-        let stale: Vec<DocId> = self
-            .index
-            .all_docs()
-            .ids()
-            .into_iter()
-            .filter(|doc| {
-                if seen.contains(&doc.0) {
-                    return false;
-                }
-                match vfs.path_of(FileId(doc.0)) {
-                    Ok(p) => p.starts_with(root) && !seen.contains(&doc.0),
-                    // The node is gone entirely.
-                    Err(_) => true,
-                }
-            })
-            .collect();
-        for doc in stale {
-            self.index.remove_doc(doc);
-            report.removed += 1;
+        for doc in self.doc_paths.docs_under(root) {
+            if !seen.contains(&doc.0) {
+                plan.stale_candidates.push(doc);
+            }
         }
-        report
+        plan
+    }
+
+    /// Apply phase of a reindex pass (exclusive lock): classifies the
+    /// tokenized deltas, verifies stale candidates against the live
+    /// namespace (a rename may have moved them out of the subtree), applies
+    /// everything to the index in one batch, and returns the pass report
+    /// plus the dirty set. Deltas raced out by a concurrent eager index are
+    /// skipped.
+    pub fn apply_sync(
+        &mut self,
+        vfs: &Vfs,
+        plan: &SyncPlan,
+        docs: Vec<TokenizedDoc>,
+    ) -> (SyncReport, DirtySet) {
+        let mut report = SyncReport::default();
+        let mut dirty = DirtySet::new();
+        for (doc, path) in &plan.refresh_paths {
+            self.doc_paths.record(*doc, path);
+        }
+        let mut adds: Vec<DocDelta> = Vec::with_capacity(docs.len());
+        for td in docs {
+            let doc = td.delta.doc;
+            match self.index.indexed_version(doc) {
+                // A concurrent eager index already holds newer content.
+                Some(v) if v >= td.delta.version => {}
+                prev => {
+                    if prev.is_none() {
+                        report.added += 1;
+                        dirty.added.insert(doc);
+                    } else {
+                        report.updated += 1;
+                        dirty.updated.insert(doc);
+                    }
+                    dirty.absorb_tokens(&td.delta.tokens);
+                    self.doc_paths.record(doc, &td.path);
+                }
+            }
+            adds.push(td.delta);
+        }
+        let mut removes: Vec<DocId> = Vec::new();
+        for &doc in &plan.stale_candidates {
+            match vfs.path_of(FileId(doc.0)) {
+                Ok(p) if p.starts_with(&plan.root) => removes.push(doc),
+                // Renamed out of the subtree since the last pass: keep.
+                Ok(p) => self.doc_paths.record(doc, &p),
+                Err(_) => removes.push(doc),
+            }
+        }
+        for &doc in &removes {
+            if self.index.is_indexed(doc) {
+                dirty.removed.insert(doc);
+                report.removed += 1;
+            }
+            self.doc_paths.forget(doc);
+        }
+        self.index.apply_delta(&adds, &removes);
+        hac_obs::gauge("hac_reindex_dirty_docs", &[]).set(dirty.doc_count() as i64);
+        (report, dirty)
     }
 
     // ------------------------------------------------------------------
@@ -663,8 +900,46 @@ impl HacState {
         // Local desired set: eval(query, parent scope) minus prohibited
         // minus permanent targets minus files physically in this directory
         // (their presence already represents them).
+        //
+        // The raw evaluation is cached per directory, keyed by (query text,
+        // index generation, universe fingerprint). Queries with directory
+        // references are never cached: a referenced directory's result set
+        // can change without either the index generation or this universe
+        // moving. As with everything §2.4, a cache hit reflects content as
+        // of the last reindex, never newer.
         let query = sd.query.clone();
-        let mut desired = self.eval_local(vfs, registry, &query.expr, &universe.local);
+        let cacheable = !query.expr.has_dir_refs();
+        let generation = self.index.generation();
+        let scope_fp = universe.local.fingerprint();
+        let cached = cacheable
+            .then(|| self.result_cache.get(&dir))
+            .flatten()
+            .filter(|c| {
+                c.generation == generation && c.scope_fp == scope_fp && c.query_src == query.source
+            })
+            .map(|c| c.result.clone());
+        let mut desired = match cached {
+            Some(result) => {
+                hac_obs::counter("hac_query_cache_hits_total", &[]).inc();
+                result
+            }
+            None => {
+                hac_obs::counter("hac_query_cache_misses_total", &[]).inc();
+                let result = self.eval_local(vfs, registry, &query.expr, &universe.local);
+                if cacheable {
+                    self.result_cache.insert(
+                        dir,
+                        CachedResult {
+                            query_src: query.source.clone(),
+                            generation,
+                            scope_fp,
+                            result: result.clone(),
+                        },
+                    );
+                }
+                result
+            }
+        };
         let sd = self
             .semdirs
             .get(&dir)
@@ -893,6 +1168,134 @@ impl HacState {
             }
         }
         Ok(synced)
+    }
+
+    /// Re-evaluates only the semantic directories a dirty set can affect:
+    ///
+    /// * directories whose query terms intersect the dirty token keys (or
+    ///   whose query is *broad* — `All`, `NOT`, `~approx`, `path(...)`);
+    /// * directories whose current result or links contain a dirty doc
+    ///   (covers removals and updates that stop matching);
+    /// * plus every transitive dependent of those, via
+    ///   [`DepGraph::update_order`], evaluated in topological order.
+    ///
+    /// A pass with an empty dirty set touches zero directories. Returns the
+    /// number re-evaluated; the rest count into
+    /// `hac_resync_semdirs_skipped_total`.
+    pub fn resync_dirty(
+        &mut self,
+        vfs: &Vfs,
+        registry: &TransducerRegistry,
+        dirty: &DirtySet,
+    ) -> HacResult<u64> {
+        // Remote namespaces change without touching the local index, and a
+        // reindex pass is their reconciliation point (§3): with any mount
+        // present, every directory's scope may span remote state we cannot
+        // dirty-track, so fall back to full re-evaluation.
+        if !self.mounts.is_empty() {
+            return self.resync_all(vfs, registry);
+        }
+        let total = self.semdirs.len() as u64;
+        let mut seed_dirs = self.query_index.seeds(dirty);
+        if !dirty.is_empty() {
+            for (dir, sd) in &self.semdirs {
+                if seed_dirs.contains(dir) {
+                    continue;
+                }
+                let hit = dirty.docs().any(|doc| sd.last_result.contains(doc))
+                    || sd.links.values().any(|s| {
+                        matches!(s.target, LinkTarget::Local(fid)
+                            if dirty.removed.contains(&Self::doc(fid))
+                                || dirty.updated.contains(&Self::doc(fid)))
+                    });
+                if hit {
+                    seed_dirs.insert(*dir);
+                }
+            }
+        }
+        let seeds: Vec<DirUid> = seed_dirs
+            .iter()
+            .filter_map(|d| self.semdirs.get(d).map(|sd| sd.uid))
+            .collect();
+        let mut affected: HashSet<DirUid> = seeds.iter().copied().collect();
+        affected.extend(self.graph.update_order(seeds));
+        let order = self.graph.full_order(affected);
+        hac_obs::histogram("hac_ssync_cascade_depth", &[]).record(order.len() as u64);
+        hac_obs::counter("hac_cascade_reevals_total", &[]).add(order.len() as u64);
+        let mut synced = 0;
+        for uid in order {
+            let Some(dir) = self.uids.dir_of(uid) else {
+                continue;
+            };
+            if self.semdirs.contains_key(&dir) {
+                self.resync_dir(vfs, registry, dir)?;
+                synced += 1;
+            }
+        }
+        hac_obs::counter("hac_resync_semdirs_skipped_total", &[]).add(total.saturating_sub(synced));
+        Ok(synced)
+    }
+
+    /// Registers (or re-registers) a directory's query in the inverted
+    /// query index and drops its cached result.
+    pub fn register_semdir_query(&mut self, dir: FileId, expr: &QueryExpr) {
+        self.query_index.insert(dir, expr);
+        self.result_cache.remove(&dir);
+    }
+
+    /// Unregisters a directory from the incremental-invalidation
+    /// structures (on removal or demotion to a plain directory).
+    pub fn unregister_semdir(&mut self, dir: FileId) {
+        self.query_index.remove(dir);
+        self.result_cache.remove(&dir);
+    }
+
+    /// Notes a structural mutation that did *not* resynchronize dependents
+    /// (because `auto_scope_sync` is off): the next `ssync` falls back to a
+    /// full re-evaluation, since dirty-set seeding assumes scopes were
+    /// consistent when the pass started.
+    pub fn note_structural_change(&mut self) {
+        if !self.config.auto_scope_sync {
+            self.pending_scope_sync = true;
+        }
+    }
+
+    /// Replaces the index wholesale (full rebuild), resetting every
+    /// structure derived from it. The result cache is cleared because the
+    /// fresh index restarts its generation counter.
+    pub fn reset_index(&mut self) {
+        self.index = Index::new(self.config.granularity);
+        self.doc_paths = DocPathMap::new();
+        self.result_cache.clear();
+    }
+
+    /// Rebuilds the doc→path map from the live namespace after the index
+    /// was swapped in from persistence. Indexed docs that no longer exist
+    /// anywhere are dropped immediately (they would otherwise dodge the
+    /// subtree-proportional stale sweep forever).
+    pub fn rebuild_doc_paths(&mut self, vfs: &Vfs) {
+        self.doc_paths = DocPathMap::new();
+        if let Ok(entries) = hac_vfs::walk(vfs, &VPath::root()) {
+            for entry in entries {
+                if entry.attr.kind != NodeKind::File || is_reserved(&entry.path) {
+                    continue;
+                }
+                let doc = Self::doc(entry.attr.id);
+                if self.index.is_indexed(doc) {
+                    self.doc_paths.record(doc, &entry.path);
+                }
+            }
+        }
+        let orphans: Vec<DocId> = self
+            .index
+            .all_docs()
+            .ids()
+            .into_iter()
+            .filter(|d| self.doc_paths.path_of(*d).is_none())
+            .collect();
+        for doc in orphans {
+            self.index.remove_doc(doc);
+        }
     }
 
     /// Repairs symlinks whose target was renamed (data inconsistency (i) of

@@ -393,6 +393,27 @@ impl Bitmap {
             Bitmap::Sparse(b) => b.bytes(),
         }
     }
+
+    /// Order-sensitive FNV-1a hash of the member ids. Representation
+    /// agnostic: a dense and a sparse bitmap holding the same set produce
+    /// the same fingerprint (both iterate ascending). Used as the scope
+    /// component of query-result cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |id: u64| {
+            for byte in id.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        match self {
+            Bitmap::Dense(b) => b.iter().for_each(|d| mix(d.0)),
+            Bitmap::Sparse(b) => b.iter().for_each(|d| mix(d.0)),
+        }
+        hash
+    }
 }
 
 impl SparseBitmap {
@@ -508,6 +529,33 @@ mod tests {
         let s = b.clone().into_sparse();
         let d2 = Bitmap::Sparse(s).into_dense();
         assert_eq!(Bitmap::Dense(d2), b);
+    }
+
+    #[test]
+    fn fingerprint_is_representation_agnostic_and_content_sensitive() {
+        let sets: Vec<Vec<u64>> = vec![vec![], vec![0], vec![1, 64, 900], vec![1, 65, 900]];
+        let mut fps = Vec::new();
+        for ids in &sets {
+            let d = dense(ids).fingerprint();
+            let s = sparse(ids).fingerprint();
+            assert_eq!(d, s, "dense/sparse fingerprints must agree for {ids:?}");
+            fps.push(d);
+        }
+        // Distinct sets get distinct fingerprints (for these small cases).
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "sets {i} and {j} collided");
+            }
+        }
+        // Trailing zero words don't change the fingerprint.
+        let mut with_tail = DenseBitmap::new();
+        with_tail.insert(DocId(3));
+        with_tail.insert(DocId(1000));
+        with_tail.remove(DocId(1000));
+        assert_eq!(
+            Bitmap::Dense(with_tail).fingerprint(),
+            dense(&[3]).fingerprint()
+        );
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl IndexStats {
     }
 }
 
+/// One document's contribution to a reindex pass, produced off-lock by the
+/// parallel tokenize phase and applied in bulk by [`Index::apply_delta`].
+#[derive(Debug, Clone)]
+pub struct DocDelta {
+    /// The document.
+    pub doc: DocId,
+    /// Content version the tokens were extracted from.
+    pub version: u64,
+    /// The extracted tokens.
+    pub tokens: Vec<Token>,
+}
+
 /// The content index.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Index {
@@ -134,6 +146,9 @@ pub struct Index {
     /// Documents re-added since the last rebuild; exact-granularity postings
     /// may hold stale bits for them, so they are verified at query time.
     dirty: DenseBitmap,
+    /// Mutation epoch: bumped on every add/remove/rebuild. Cached query
+    /// results keyed by this value are valid exactly while it is unchanged.
+    generation: u64,
 }
 
 impl Default for Index {
@@ -153,12 +168,20 @@ impl Index {
             blocks: Vec::new(),
             live: DenseBitmap::new(),
             dirty: DenseBitmap::new(),
+            generation: 0,
         }
     }
 
     /// The configured granularity.
     pub fn granularity(&self) -> Granularity {
         self.granularity
+    }
+
+    /// The mutation epoch. Any cached derivation of this index (query
+    /// results, scope bitmaps) is valid only while the generation is
+    /// unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of live documents.
@@ -230,6 +253,7 @@ impl Index {
         if was_present {
             self.dirty.insert(doc);
         }
+        self.generation += 1;
     }
 
     /// Removes a document. Postings are cleaned lazily at the next rebuild;
@@ -238,13 +262,43 @@ impl Index {
         if self.docs.remove(&doc.0).is_some() {
             self.live.remove(doc);
             self.dirty.remove(doc);
+            self.generation += 1;
         }
     }
 
+    /// Applies one reindex pass's worth of changes in a single call: every
+    /// delta is (re)indexed and every removal dropped. This is the short
+    /// write-phase of the lock-split `ssync` pipeline — tokenization already
+    /// happened off-lock, so the cost here is posting insertion only.
+    ///
+    /// A delta whose document is already indexed at the same or a newer
+    /// version is skipped (a concurrent eager index beat us to it). Returns
+    /// the number of deltas actually applied.
+    pub fn apply_delta(&mut self, adds: &[DocDelta], removes: &[DocId]) -> u64 {
+        let mut applied = 0;
+        for delta in adds {
+            if self
+                .indexed_version(delta.doc)
+                .is_some_and(|v| v >= delta.version)
+            {
+                continue;
+            }
+            self.add_doc(delta.doc, delta.version, &delta.tokens);
+            applied += 1;
+        }
+        for &doc in removes {
+            self.remove_doc(doc);
+        }
+        applied
+    }
+
     /// Rebuilds the index from scratch out of `(doc, version, tokens)`
-    /// triples — HAC's periodic full reindex.
+    /// triples — HAC's periodic full reindex. The generation survives the
+    /// rebuild (and bumps), so cached results keyed by it stay invalid.
     pub fn rebuild(&mut self, docs: impl IntoIterator<Item = (DocId, u64, Vec<Token>)>) {
+        let generation = self.generation + 1;
         *self = Index::new(self.granularity);
+        self.generation = generation;
         for (doc, version, tokens) in docs {
             self.add_doc(doc, version, &tokens);
         }
@@ -733,6 +787,68 @@ mod tests {
         // Doc 1 shares a block with doc 0 → at least one false positive is
         // possible but not guaranteed; just check consistency.
         assert!(stats.false_positives <= stats.verified);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut index = Index::new(Granularity::Exact);
+        assert_eq!(index.generation(), 0);
+        index.add_doc(DocId(1), 1, &tokenize_text(b"alpha"));
+        let g1 = index.generation();
+        assert!(g1 > 0);
+        // Removing an absent doc is a no-op: generation unchanged.
+        index.remove_doc(DocId(99));
+        assert_eq!(index.generation(), g1);
+        index.remove_doc(DocId(1));
+        assert!(index.generation() > g1);
+        // Rebuild keeps the epoch monotonic.
+        let before = index.generation();
+        index.rebuild([(DocId(2), 1, tokenize_text(b"beta"))]);
+        assert!(index.generation() > before);
+    }
+
+    #[test]
+    fn apply_delta_adds_removes_and_skips_stale() {
+        for g in both() {
+            let (mut index, corpus) = build(g, DOCS);
+            let gen0 = index.generation();
+            let applied = index.apply_delta(
+                &[
+                    // Stale: doc 0 is already at version 1.
+                    DocDelta {
+                        doc: DocId(0),
+                        version: 1,
+                        tokens: tokenize_text(b"should not land"),
+                    },
+                    // Fresh update.
+                    DocDelta {
+                        doc: DocId(2),
+                        version: 2,
+                        tokens: tokenize_text(b"kernel hacking"),
+                    },
+                    // Brand new doc.
+                    DocDelta {
+                        doc: DocId(9),
+                        version: 1,
+                        tokens: tokenize_text(b"fingerprint appendix"),
+                    },
+                ],
+                &[DocId(3)],
+            );
+            assert_eq!(applied, 2);
+            assert!(index.generation() > gen0);
+            assert!(!index.is_indexed(DocId(3)));
+            assert_eq!(index.indexed_version(DocId(2)), Some(2));
+            let mut corpus = corpus.clone();
+            corpus.insert(DocId(2), tokenize_text(b"kernel hacking"));
+            corpus.insert(DocId(9), tokenize_text(b"fingerprint appendix"));
+            let hits = index.eval(
+                &ContentExpr::term("fingerprint"),
+                &index.all_docs(),
+                &corpus,
+            );
+            assert_eq!(ids(&hits), vec![0, 1, 4, 9], "granularity {g:?}");
+        }
     }
 
     #[test]

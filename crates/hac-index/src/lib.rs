@@ -32,7 +32,7 @@ pub mod token;
 pub mod transducer;
 
 pub use bitmap::{Bitmap, DenseBitmap, DocId, SparseBitmap};
-pub use engine::{DocProvider, EvalStats, Granularity, Index, IndexStats};
+pub use engine::{DocDelta, DocProvider, EvalStats, Granularity, Index, IndexStats};
 pub use expr::ContentExpr;
 pub use lexicon::{Lexicon, TermId};
 pub use token::{tokenize_text, Token};
