@@ -225,13 +225,20 @@ impl DocPathMap {
     }
 
     /// Records (or moves) a document's indexed path.
+    ///
+    /// Two documents can transiently claim one path (a file replaced in
+    /// place by a new inode before the old doc is swept); `by_path` then
+    /// holds the latest claimant, so releases of a path entry must check
+    /// ownership first.
     pub fn record(&mut self, doc: DocId, path: &VPath) {
         let key = path.to_string();
         if let Some(old) = self.paths.get(&doc) {
             if *old == key {
                 return;
             }
-            self.by_path.remove(old);
+            if self.by_path.get(old) == Some(&doc) {
+                self.by_path.remove(old);
+            }
         }
         self.by_path.insert(key.clone(), doc);
         self.paths.insert(doc, key);
@@ -240,7 +247,9 @@ impl DocPathMap {
     /// Drops a document.
     pub fn forget(&mut self, doc: DocId) {
         if let Some(old) = self.paths.remove(&doc) {
-            self.by_path.remove(&old);
+            if self.by_path.get(&old) == Some(&doc) {
+                self.by_path.remove(&old);
+            }
         }
     }
 
@@ -408,5 +417,35 @@ mod tests {
         m.forget(DocId(1));
         assert!(m.is_empty());
         assert!(m.path_of(DocId(1)).is_none());
+    }
+
+    #[test]
+    fn doc_path_map_replace_at_same_path_keeps_new_doc() {
+        // A file replaced in place (delete+recreate or rename-over) puts a
+        // new inode at the old doc's recorded path before the stale doc is
+        // swept; forgetting the old doc must not drop the new doc's entry.
+        let mut m = DocPathMap::new();
+        m.record(DocId(1), &p("/a"));
+        m.record(DocId(2), &p("/a"));
+        m.forget(DocId(1));
+        assert_eq!(m.path_of(DocId(2)), Some("/a"));
+        let under: Vec<u64> = m.docs_under(&p("/")).iter().map(|d| d.0).collect();
+        assert_eq!(under, vec![2], "new doc must survive the stale sweep");
+        assert!(m.path_of(DocId(1)).is_none());
+    }
+
+    #[test]
+    fn doc_path_map_move_does_not_drop_other_docs_entry() {
+        // Doc 2 takes over doc 1's path, then doc 1 moves away: the move
+        // must release only entries doc 1 still owns.
+        let mut m = DocPathMap::new();
+        m.record(DocId(1), &p("/a"));
+        m.record(DocId(2), &p("/a")); // shadows doc 1 at /a
+        m.record(DocId(1), &p("/c")); // doc 1 moves; /a belongs to doc 2
+        assert_eq!(m.path_of(DocId(2)), Some("/a"));
+        assert_eq!(m.path_of(DocId(1)), Some("/c"));
+        let mut under: Vec<u64> = m.docs_under(&p("/")).iter().map(|d| d.0).collect();
+        under.sort();
+        assert_eq!(under, vec![1, 2]);
     }
 }

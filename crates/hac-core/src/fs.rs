@@ -890,8 +890,20 @@ impl HacFs {
         let Ok(bytes) = self.vfs.read_file(&meta_dir.join("index")?) else {
             return Ok(false);
         };
-        let Ok(index) = hac_vfs::persist::decode_value::<hac_index::Index>(&bytes) else {
-            return Ok(false);
+        let index = match hac_vfs::persist::decode_value::<hac_index::Index>(&bytes) {
+            Ok(index) => index,
+            Err(_) => {
+                // The snapshot codec is positional, so a layout change in
+                // `Index` (or corruption) fails decode here. Surface it —
+                // the operator is about to pay for a full reindex and
+                // should be able to see why the warm start didn't happen.
+                hac_obs::counter("hac_index_snapshot_decode_failures_total", &[]).inc();
+                hac_obs::global().event(
+                    "index_snapshot_decode_failed",
+                    vec![("bytes".to_string(), bytes.len().to_string())],
+                );
+                return Ok(false);
+            }
         };
         let mut state = self.state.write();
         state.index = index;

@@ -505,6 +505,14 @@ impl HacState {
         let mut adds: Vec<DocDelta> = Vec::with_capacity(docs.len());
         for td in docs {
             let doc = td.delta.doc;
+            // A file unlinked during the lock-free tokenize window was
+            // already deindexed (eager mode deindexes under the write
+            // lock); accepting its in-flight delta would resurrect the
+            // deleted document until the next pass. Only apply deltas for
+            // inodes that still resolve in the live namespace.
+            if vfs.path_of(FileId(doc.0)).is_err() {
+                continue;
+            }
             match self.index.indexed_version(doc) {
                 // A concurrent eager index already holds newer content.
                 Some(v) if v >= td.delta.version => {}
@@ -1569,5 +1577,34 @@ mod tests {
         assert_eq!(sanitize_name("A paper (1999)"), "A_paper__1999");
         assert_eq!(sanitize_name("///"), "remote");
         assert_eq!(sanitize_name("ok-name.txt"), "ok-name.txt");
+    }
+
+    #[test]
+    fn apply_sync_skips_deltas_for_concurrently_unlinked_docs() {
+        let vfs = Vfs::new();
+        let registry = TransducerRegistry::new();
+        let mut state = HacState::new(HacConfig::default());
+        let p = |s: &str| VPath::parse(s).unwrap();
+
+        vfs.mkdir_p(&p("/d")).unwrap();
+        let id = vfs.save(&p("/d/f.txt"), b"one").unwrap();
+        state.sync_subtree(&vfs, &registry, &p("/"));
+        assert!(state.index.is_indexed(HacState::doc(id)));
+
+        // Dirty the file, then run the pipeline's phases by hand with an
+        // unlink interleaved into the lock-free tokenize window (what an
+        // eager-mode unlink does: deindex, then remove the file).
+        vfs.write_file(&p("/d/f.txt"), b"two").unwrap();
+        let plan = state.plan_sync(&vfs, &p("/"));
+        let docs = tokenize_plan(&vfs, &registry, &plan, 1);
+        state.deindex_file(id);
+        vfs.unlink(&p("/d/f.txt")).unwrap();
+
+        let (report, dirty) = state.apply_sync(&vfs, &plan, docs);
+        assert_eq!(report.added, 0, "stale delta must not resurrect the doc");
+        assert_eq!(report.updated, 0);
+        assert!(dirty.added.is_empty() && dirty.updated.is_empty());
+        assert!(!state.index.is_indexed(HacState::doc(id)));
+        assert!(state.doc_paths.path_of(HacState::doc(id)).is_none());
     }
 }

@@ -77,11 +77,30 @@ fn index_persistence_warm_start() {
 #[test]
 fn load_index_absent_returns_false() {
     let fs = HacFs::new();
+    let before = hac_obs::snapshot();
     assert!(!fs.load_index().unwrap());
-    // Garbage index file: also refused, current index untouched.
+    let absent = hac_obs::snapshot();
+    assert_eq!(
+        counter_value(&absent, "hac_index_snapshot_decode_failures_total")
+            - counter_value(&before, "hac_index_snapshot_decode_failures_total"),
+        0,
+        "a missing snapshot is not a decode failure"
+    );
+    // Garbage index file: refused, current index untouched — and counted,
+    // so a layout change forcing a full reindex is visible to operators.
     fs.vfs().mkdir_p(&p("/.hac-meta")).unwrap();
     fs.vfs().save(&p("/.hac-meta/index"), b"garbage").unwrap();
     assert!(!fs.load_index().unwrap());
+    let after = hac_obs::snapshot();
+    assert_eq!(
+        counter_value(&after, "hac_index_snapshot_decode_failures_total")
+            - counter_value(&absent, "hac_index_snapshot_decode_failures_total"),
+        1
+    );
+}
+
+fn counter_value(snap: &hac_obs::Snapshot, name: &str) -> u64 {
+    snap.counter_value(name, &[]).unwrap_or(0)
 }
 
 #[test]

@@ -148,6 +148,12 @@ pub struct Index {
     dirty: DenseBitmap,
     /// Mutation epoch: bumped on every add/remove/rebuild. Cached query
     /// results keyed by this value are valid exactly while it is unchanged.
+    ///
+    /// Adding this field changed the persisted layout: the snapshot codec
+    /// is positional, so index snapshots written by earlier versions fail
+    /// to decode. `HacFs::load_index` counts and logs that failure (the
+    /// cost is one full reindex), rather than silently pretending no
+    /// snapshot existed.
     generation: u64,
 }
 
