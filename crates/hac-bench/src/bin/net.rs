@@ -1,0 +1,165 @@
+//! Network-layer latency/throughput: the same search served three ways —
+//! in-process (no sockets), over loopback TCP via `NetRemote`, and through
+//! a passthrough `ChaosProxy` — emitted as `BENCH_net.json`.
+//!
+//! `cargo run -p hac-bench --release --bin net`
+//!
+//! Flags: `--docs N --requests N --threads N` scale the corpus and load;
+//! `--smoke` shrinks everything to CI size; `--out PATH` moves the JSON
+//! snapshot (default `BENCH_net.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hac_bench::{arg_flag, arg_str, arg_usize, report_metrics_snapshot};
+use hac_core::RemoteQuerySystem;
+use hac_index::ContentExpr;
+use hac_net::{ChaosProxy, ClientConfig, HacServer, NetRemote, ServerConfig};
+use hac_remote::WebSearchSim;
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Runs `requests` sequential searches, returning sorted per-request
+/// latencies.
+fn measure(remote: &dyn RemoteQuerySystem, query: &ContentExpr, requests: usize) -> Vec<Duration> {
+    let mut lat = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t = Instant::now();
+        let docs = remote.search(query).expect("search");
+        lat.push(t.elapsed());
+        assert!(!docs.is_empty(), "query must match");
+    }
+    lat.sort();
+    lat
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Concurrent throughput: `threads` workers each firing `per_thread`
+/// searches through one shared client; returns requests per second.
+fn throughput(
+    remote: &Arc<NetRemote>,
+    query: &ContentExpr,
+    threads: usize,
+    per_thread: usize,
+) -> f64 {
+    let t = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let remote = Arc::clone(remote);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    remote.search(&query).expect("search");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    (threads * per_thread) as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+struct Lane {
+    name: &'static str,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn lane(name: &'static str, remote: &dyn RemoteQuerySystem, query: &ContentExpr, n: usize) -> Lane {
+    let lat = measure(remote, query, n);
+    Lane {
+        name,
+        p50: percentile(&lat, 50.0),
+        p99: percentile(&lat, 99.0),
+    }
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let docs = arg_usize("docs", if smoke { 200 } else { 2000 });
+    let requests = arg_usize("requests", if smoke { 200 } else { 2000 });
+    let threads = arg_usize("threads", 4);
+
+    let backend = Arc::new(WebSearchSim::new("bench"));
+    for i in 0..docs {
+        // ~1/8 of the corpus matches the benchmark query.
+        let body = if i % 8 == 0 {
+            format!("latency probe document {i} with needle term")
+        } else {
+            format!("filler document {i} about unrelated matters")
+        };
+        backend.publish(&format!("doc{i}"), &format!("Doc {i}"), body.as_bytes());
+    }
+    let query = ContentExpr::term("needle");
+
+    // Lane 1: in-process, no sockets — the floor.
+    let direct = lane("direct", backend.as_ref(), &query, requests);
+
+    // Lane 2: loopback TCP through NetRemote.
+    let server = HacServer::serve(
+        "127.0.0.1:0",
+        vec![backend.clone()],
+        ServerConfig {
+            workers: threads.max(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let net_client = Arc::new(NetRemote::connect(
+        "bench",
+        &server.local_addr().to_string(),
+        ClientConfig {
+            max_connections: threads.max(2),
+            ..ClientConfig::default()
+        },
+    ));
+    let net = lane("loopback", net_client.as_ref(), &query, requests);
+    let rps = throughput(&net_client, &query, threads, requests / threads.max(1));
+
+    // Lane 3: the same loopback path through a passthrough ChaosProxy
+    // (what the fault-injection tests pay when no fault is active).
+    let proxy = ChaosProxy::start(server.local_addr()).expect("proxy");
+    let proxy_client = Arc::new(NetRemote::connect(
+        "bench",
+        &proxy.local_addr().to_string(),
+        ClientConfig::default(),
+    ));
+    let proxied = lane("chaos-proxy", proxy_client.as_ref(), &query, requests);
+
+    println!("Network layer bench ({docs} docs, {requests} requests/lane)");
+    for l in [&direct, &net, &proxied] {
+        println!(
+            "  {:<12} p50 {:>9.1} us   p99 {:>9.1} us",
+            l.name,
+            us(l.p50),
+            us(l.p99)
+        );
+    }
+    println!("  loopback throughput ({threads} threads): {rps:.0} req/s");
+
+    let out = arg_str("out").unwrap_or_else(|| "BENCH_net.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"net\",\n  \"smoke\": {smoke},\n  \"docs\": {docs},\n  \"requests_per_lane\": {requests},\n  \"direct_p50_us\": {:.1},\n  \"direct_p99_us\": {:.1},\n  \"loopback_p50_us\": {:.1},\n  \"loopback_p99_us\": {:.1},\n  \"chaos_proxy_p50_us\": {:.1},\n  \"chaos_proxy_p99_us\": {:.1},\n  \"loopback_throughput_rps\": {rps:.0},\n  \"throughput_threads\": {threads}\n}}\n",
+        us(direct.p50),
+        us(direct.p99),
+        us(net.p50),
+        us(net.p99),
+        us(proxied.p50),
+        us(proxied.p99),
+    );
+    std::fs::write(&out, json).expect("write BENCH_net.json");
+    println!("\nsnapshot: {out}");
+    report_metrics_snapshot("net");
+
+    drop(proxy_client);
+    proxy.stop();
+    drop(net_client);
+    server.shutdown();
+}

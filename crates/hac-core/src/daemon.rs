@@ -85,7 +85,7 @@ impl ReindexDaemon {
             // Seeded off the interval only: determinism across runs matters
             // more than unpredictability, jitter just de-syncs daemons that
             // happen to fail together.
-            let mut jitter_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (interval.as_nanos() as u64 | 1);
+            let mut jitter_state: u64 = crate::remote::RetryPolicy::daemon(interval).seed_jitter();
             let mut wait = interval;
             loop {
                 match stop_rx.recv_timeout(wait) {
@@ -167,27 +167,15 @@ impl ReindexDaemon {
 
 /// Delay before the next pass after `consecutive_failures` failures in a
 /// row: `interval × 2^(failures-1)`, capped at [`MAX_BACKOFF_FACTOR`]×, plus
-/// up to 25% jitter so co-failing daemons do not retry in lockstep.
+/// up to 25% jitter so co-failing daemons do not retry in lockstep. The
+/// schedule is the shared [`RetryPolicy`](crate::remote::RetryPolicy) one —
+/// network mounts back off with exactly the same shape.
 fn backoff_delay(
     interval: Duration,
     consecutive_failures: u64,
     jitter_state: &mut u64,
 ) -> Duration {
-    let exp = consecutive_failures.saturating_sub(1).min(31) as u32;
-    let factor = 1u32
-        .checked_shl(exp)
-        .unwrap_or(MAX_BACKOFF_FACTOR)
-        .min(MAX_BACKOFF_FACTOR);
-    let base = interval.saturating_mul(factor);
-    // xorshift64 — cheap deterministic jitter, no external RNG dependency.
-    let mut x = *jitter_state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *jitter_state = x;
-    let quarter_ns = (base.as_nanos() / 4).min(u64::MAX as u128) as u64;
-    let jitter = if quarter_ns == 0 { 0 } else { x % quarter_ns };
-    base + Duration::from_nanos(jitter)
+    crate::remote::RetryPolicy::daemon(interval).delay(consecutive_failures, jitter_state)
 }
 
 impl Drop for ReindexDaemon {

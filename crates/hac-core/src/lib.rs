@@ -37,7 +37,9 @@ pub use depgraph::{DepGraph, EdgeKind};
 pub use dirty::{DirtySet, DocPathMap, QueryIndex};
 pub use error::{HacError, HacResult};
 pub use fs::{HacFs, LinkInfo};
-pub use remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+pub use remote::{
+    FailurePolicy, NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem, RetryPolicy,
+};
 pub use scope::{RemoteSet, Scope};
 pub use semdir::{LinkKind, LinkState, LinkTarget, SemDir};
 pub use state::{HacConfig, SyncReport};

@@ -8,12 +8,15 @@
 //! so the core can be tested with in-crate fakes.
 
 use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 use hac_index::ContentExpr;
 
 /// Identifier of a mounted remote name space. Must be unique among the
 /// remotes mounted into one `HacFs`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NamespaceId(pub String);
 
 impl fmt::Display for NamespaceId {
@@ -23,7 +26,7 @@ impl fmt::Display for NamespaceId {
 }
 
 /// One result returned by a remote query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemoteDoc {
     /// Remote-unique identifier (URL, path, object key — opaque to HAC).
     pub id: String,
@@ -32,7 +35,7 @@ pub struct RemoteDoc {
 }
 
 /// Errors surfaced by remote name spaces.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RemoteError {
     /// The remote is unreachable or refused the request.
     Unavailable(String),
@@ -56,6 +59,114 @@ impl fmt::Display for RemoteError {
 }
 
 impl std::error::Error for RemoteError {}
+
+/// Shared retry/backoff/deadline configuration for anything that talks to
+/// a remote: the reindex daemon's failure backoff and every mount client's
+/// retry loop draw their tuning from one `RetryPolicy` so mounts do not
+/// grow divergent backoff behaviour.
+///
+/// The delay schedule is the daemon's capped exponential:
+/// `base_delay × 2^(failures-1)`, capped at `max_backoff_factor×`, plus up
+/// to 25% deterministic jitter so co-failing clients do not retry in
+/// lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical request (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry (and the daemon's base interval).
+    pub base_delay: Duration,
+    /// Backoff ceiling as a multiple of `base_delay`.
+    pub max_backoff_factor: u32,
+    /// Per-request I/O deadline (read and write) for network clients.
+    pub request_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_backoff_factor: 64,
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The daemon's shape: no request-level retries of its own (the next
+    /// tick is the retry), backoff from the reindex interval.
+    pub fn daemon(interval: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: interval,
+            max_backoff_factor: crate::daemon::MAX_BACKOFF_FACTOR,
+            request_timeout: Duration::ZERO,
+        }
+    }
+
+    /// Delay before the next attempt after `consecutive_failures` failures
+    /// in a row. `jitter_state` is caller-held xorshift64 state so the
+    /// schedule is deterministic per client and free of RNG dependencies.
+    pub fn delay(&self, consecutive_failures: u64, jitter_state: &mut u64) -> Duration {
+        let exp = consecutive_failures.saturating_sub(1).min(31) as u32;
+        let factor = 1u32
+            .checked_shl(exp)
+            .unwrap_or(self.max_backoff_factor)
+            .min(self.max_backoff_factor.max(1));
+        let base = self.base_delay.saturating_mul(factor);
+        let mut x = *jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter_state = x;
+        let quarter_ns = (base.as_nanos() / 4).min(u64::MAX as u128) as u64;
+        let jitter = if quarter_ns == 0 { 0 } else { x % quarter_ns };
+        base + Duration::from_nanos(jitter)
+    }
+
+    /// Seeds jitter state off the base delay (determinism across runs
+    /// matters more than unpredictability — see the daemon's rationale).
+    pub fn seed_jitter(&self) -> u64 {
+        0x9E37_79B9_7F4A_7C15 ^ (self.base_delay.as_nanos() as u64 | 1)
+    }
+}
+
+/// Failure-injection policy shared by the simulated remotes and the network
+/// test servers (moved here from `hac_remote::websearch` so every backend
+/// injects faults the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Never fail.
+    None,
+    /// Fail every request with `Unavailable`.
+    AlwaysDown,
+    /// Fail each request whose sequence number is a multiple of `n`.
+    EveryNth(u64),
+    /// Time out every request (models a hung remote).
+    AlwaysTimeout,
+}
+
+impl FailurePolicy {
+    /// Applies the policy to request number `seq` (1-based).
+    ///
+    /// # Errors
+    ///
+    /// The injected [`RemoteError`] when the policy says this request
+    /// fails.
+    pub fn check(&self, seq: u64) -> Result<(), RemoteError> {
+        match *self {
+            FailurePolicy::None => Ok(()),
+            FailurePolicy::AlwaysDown => {
+                Err(RemoteError::Unavailable("engine offline".to_string()))
+            }
+            FailurePolicy::EveryNth(k) if k > 0 && seq.is_multiple_of(k) => Err(
+                RemoteError::Unavailable(format!("transient fault on request {seq}")),
+            ),
+            FailurePolicy::EveryNth(_) => Ok(()),
+            FailurePolicy::AlwaysTimeout => Err(RemoteError::Timeout),
+        }
+    }
+}
 
 /// A remote file or query system reachable through a semantic mount point.
 ///
@@ -176,6 +287,71 @@ mod tests {
         assert_eq!(hits[0].id, "a");
         assert_eq!(r.fetch("b").unwrap(), b"cooking pasta".to_vec());
         assert!(matches!(r.fetch("zz"), Err(RemoteError::NotFound(_))));
+    }
+
+    #[test]
+    fn retry_policy_delay_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_backoff_factor: 8,
+            request_timeout: Duration::from_secs(1),
+        };
+        let mut jitter = p.seed_jitter();
+        let mut prev = Duration::ZERO;
+        for failures in 1..=4u64 {
+            let d = p.delay(failures, &mut jitter);
+            let base = Duration::from_millis(10) * (1u32 << (failures - 1));
+            assert!(
+                d >= base && d <= base + base / 4,
+                "failure #{failures}: {d:?}"
+            );
+            assert!(d > prev);
+            prev = d;
+        }
+        // Beyond the cap the delay stays at max_backoff_factor× (+ jitter).
+        let capped = p.delay(100, &mut jitter);
+        let ceiling = Duration::from_millis(80);
+        assert!(capped >= ceiling && capped <= ceiling + ceiling / 4);
+    }
+
+    #[test]
+    fn failure_policy_check_matches_documented_shape() {
+        assert!(FailurePolicy::None.check(1).is_ok());
+        assert!(matches!(
+            FailurePolicy::AlwaysDown.check(1),
+            Err(RemoteError::Unavailable(_))
+        ));
+        assert!(matches!(
+            FailurePolicy::AlwaysTimeout.check(7),
+            Err(RemoteError::Timeout)
+        ));
+        let every2 = FailurePolicy::EveryNth(2);
+        assert!(every2.check(1).is_ok());
+        assert!(every2.check(2).is_err());
+        assert!(every2.check(3).is_ok());
+        assert!(FailurePolicy::EveryNth(0).check(5).is_ok());
+    }
+
+    #[test]
+    fn remote_types_roundtrip_through_the_codec() {
+        let doc = RemoteDoc {
+            id: "/pub/a.txt".to_string(),
+            title: "a.txt".to_string(),
+        };
+        let bytes = hac_vfs::persist::encode_value(&doc).unwrap();
+        let back: RemoteDoc = hac_vfs::persist::decode_value(&bytes).unwrap();
+        assert_eq!(back, doc);
+        for err in [
+            RemoteError::Unavailable("x".into()),
+            RemoteError::Timeout,
+            RemoteError::NotFound("id".into()),
+            RemoteError::UnsupportedQuery("q".into()),
+        ] {
+            let bytes = hac_vfs::persist::encode_value(&err).unwrap();
+            let back: RemoteError = hac_vfs::persist::decode_value(&bytes).unwrap();
+            assert_eq!(back, err);
+        }
     }
 
     #[test]

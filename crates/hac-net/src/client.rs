@@ -1,0 +1,522 @@
+//! `NetRemote`: a TCP client that *is* a [`RemoteQuerySystem`].
+//!
+//! Because `NetRemote` implements the same trait as the in-process
+//! simulators, a networked mount drops into the semantic-mount machinery
+//! unchanged — `HacFs::smount` neither knows nor cares that the backend
+//! lives across a socket. Transport failures are folded into the
+//! [`RemoteError`] taxonomy the scope evaluator already handles: scope
+//! refreshes that hit a dead server keep previously imported results,
+//! exactly as the paper's §3 prescribes for unreachable remotes.
+//!
+//! Reliability shape:
+//!
+//! * a bounded **connection pool** (idle sockets are reused; at most
+//!   `max_connections` exist at once; excess callers wait on a condvar);
+//! * a **per-request deadline** (socket read/write timeouts);
+//! * **capped exponential retry with jitter** via the shared
+//!   [`RetryPolicy`] — the same backoff shape the reindex daemon uses.
+//!
+//! Retries apply only to *retriable* failures (connection refused/reset,
+//! timeouts). Semantic errors from the far side — not found, unsupported
+//! query, unknown namespace, version mismatch — fail fast.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem, RetryPolicy};
+use hac_index::ContentExpr;
+
+use crate::wire::{
+    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+};
+
+/// Tuning for a [`NetRemote`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Ceiling on live sockets to the server (pooled + in flight).
+    pub max_connections: usize,
+    /// How long a caller waits for a pooled socket before giving up.
+    pub pool_wait: Duration,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Retry/backoff/request-deadline knobs (shared with the daemon).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_connections: 4,
+            pool_wait: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+struct PoolState {
+    idle: Vec<TcpStream>,
+    /// Sockets currently checked out or idle (never exceeds `max_connections`).
+    total: usize,
+    waiters: usize,
+}
+
+/// Mutex+condvar socket pool. `checkout` hands back either an idle socket
+/// or permission to dial a new one; `put_back`/`discard` return capacity.
+struct Pool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    cap: usize,
+    ns: String,
+}
+
+enum Checkout {
+    Reuse(TcpStream),
+    Dial,
+}
+
+impl Pool {
+    fn new(cap: usize, ns: &str) -> Self {
+        Pool {
+            state: Mutex::new(PoolState {
+                idle: Vec::new(),
+                total: 0,
+                waiters: 0,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+            ns: ns.to_string(),
+        }
+    }
+
+    fn labels(&self) -> [(&'static str, &str); 1] {
+        [("ns", self.ns.as_str())]
+    }
+
+    fn checkout(&self, wait: Duration) -> Result<Checkout, RemoteError> {
+        let deadline = Instant::now() + wait;
+        let mut state = self.state.lock().expect("pool poisoned");
+        loop {
+            if let Some(conn) = state.idle.pop() {
+                return Ok(Checkout::Reuse(conn));
+            }
+            if state.total < self.cap {
+                state.total += 1;
+                hac_obs::gauge("hac_net_pool_size", &self.labels()).set(state.total as i64);
+                return Ok(Checkout::Dial);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RemoteError::Timeout);
+            }
+            state.waiters += 1;
+            hac_obs::gauge("hac_net_pool_waiters", &self.labels()).set(state.waiters as i64);
+            let (s, _) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("pool poisoned");
+            state = s;
+            state.waiters -= 1;
+            hac_obs::gauge("hac_net_pool_waiters", &self.labels()).set(state.waiters as i64);
+        }
+    }
+
+    fn put_back(&self, conn: TcpStream) {
+        let mut state = self.state.lock().expect("pool poisoned");
+        state.idle.push(conn);
+        self.available.notify_one();
+    }
+
+    /// Drops a broken socket and releases its capacity slot.
+    fn discard(&self) {
+        let mut state = self.state.lock().expect("pool poisoned");
+        state.total = state.total.saturating_sub(1);
+        hac_obs::gauge("hac_net_pool_size", &self.labels()).set(state.total as i64);
+        self.available.notify_one();
+    }
+
+    fn drain(&self) -> VecDeque<TcpStream> {
+        let mut state = self.state.lock().expect("pool poisoned");
+        let conns: VecDeque<TcpStream> = state.idle.drain(..).collect();
+        state.total = state.total.saturating_sub(conns.len());
+        hac_obs::gauge("hac_net_pool_size", &self.labels()).set(state.total as i64);
+        conns
+    }
+}
+
+/// A remote query system reached over TCP.
+pub struct NetRemote {
+    ns: NamespaceId,
+    addr: String,
+    config: ClientConfig,
+    pool: Pool,
+    next_id: AtomicU64,
+    jitter: Mutex<u64>,
+}
+
+impl NetRemote {
+    /// Creates a client for namespace `ns` served at `addr`
+    /// (`"host:port"`). No connection is made until the first request.
+    pub fn connect(ns: &str, addr: &str, config: ClientConfig) -> Self {
+        let jitter = config.retry.seed_jitter() ^ (ns.len() as u64) << 32 | addr.len() as u64;
+        NetRemote {
+            ns: NamespaceId(ns.to_string()),
+            addr: addr.to_string(),
+            pool: Pool::new(config.max_connections, ns),
+            config,
+            next_id: AtomicU64::new(1),
+            jitter: Mutex::new(jitter | 1),
+        }
+    }
+
+    /// Parses a `tcp://host:port/namespace` URL into `(addr, ns)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::UnsupportedQuery`] when the URL does not match the
+    /// scheme (we reuse the closest existing taxonomy entry rather than
+    /// widening the enum for a parse failure).
+    pub fn parse_url(url: &str) -> Result<(String, String), RemoteError> {
+        let rest = url
+            .strip_prefix("tcp://")
+            .ok_or_else(|| RemoteError::UnsupportedQuery(format!("not a tcp:// url: {url}")))?;
+        let (addr, ns) = rest
+            .split_once('/')
+            .ok_or_else(|| RemoteError::UnsupportedQuery(format!("missing /namespace: {url}")))?;
+        if addr.is_empty() || ns.is_empty() {
+            return Err(RemoteError::UnsupportedQuery(format!(
+                "empty host or namespace: {url}"
+            )));
+        }
+        Ok((addr.to_string(), ns.to_string()))
+    }
+
+    /// Builds a client straight from a `tcp://host:port/namespace` URL.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_url`](NetRemote::parse_url).
+    pub fn from_url(url: &str, config: ClientConfig) -> Result<Self, RemoteError> {
+        let (addr, ns) = Self::parse_url(url)?;
+        Ok(Self::connect(&ns, &addr, config))
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Asks the server which namespaces it exports.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures map onto [`RemoteError`] like any request.
+    pub fn capabilities(&self) -> Result<Vec<String>, RemoteError> {
+        match self.request("capabilities", RequestBody::Capabilities)? {
+            ResponseBody::Capabilities { namespaces, .. } => Ok(namespaces),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Round-trips a ping; returns the server's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures map onto [`RemoteError`] like any request.
+    pub fn ping(&self) -> Result<u16, RemoteError> {
+        match self.request(
+            "ping",
+            RequestBody::Ping {
+                version: PROTOCOL_VERSION,
+            },
+        )? {
+            ResponseBody::Pong { version } => Ok(version),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Closes every pooled socket (in-flight requests are unaffected).
+    pub fn disconnect(&self) {
+        for conn in self.pool.drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        use std::net::ToSocketAddrs;
+        let mut last = io::Error::new(io::ErrorKind::NotFound, "no address resolved");
+        for addr in self.addr.as_str().to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(conn) => {
+                    conn.set_read_timeout(Some(self.config.retry.request_timeout))?;
+                    conn.set_write_timeout(Some(self.config.retry.request_timeout))?;
+                    conn.set_nodelay(true)?;
+                    // Version handshake before the socket joins the pool.
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    let resp = exchange(
+                        &conn,
+                        &Request {
+                            id,
+                            body: RequestBody::Ping {
+                                version: PROTOCOL_VERSION,
+                            },
+                        },
+                        wire::DEFAULT_MAX_FRAME_LEN,
+                    )?;
+                    return match resp.body {
+                        ResponseBody::Pong { .. } => Ok(conn),
+                        ResponseBody::Err(WireError::VersionMismatch { server, client }) => {
+                            Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "protocol version mismatch: server v{server}, client v{client}"
+                                ),
+                            ))
+                        }
+                        _ => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "handshake: unexpected response to ping",
+                        )),
+                    };
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One attempt: checkout/dial, send, receive, return socket to pool.
+    fn attempt(&self, body: &RequestBody) -> Result<ResponseBody, AttemptError> {
+        let conn = match self.pool.checkout(self.config.pool_wait)? {
+            Checkout::Reuse(conn) => conn,
+            Checkout::Dial => match self.dial() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.pool.discard();
+                    return Err(AttemptError::Io(e));
+                }
+            },
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Request {
+            id,
+            body: body.clone(),
+        };
+        match exchange(&conn, &req, wire::DEFAULT_MAX_FRAME_LEN) {
+            Ok(resp) => {
+                if resp.id != id {
+                    // Desynchronised stream (e.g. a previous timeout left a
+                    // stale response buffered) — poison the socket.
+                    self.pool.discard();
+                    let _ = conn.shutdown(Shutdown::Both);
+                    return Err(AttemptError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response id mismatch",
+                    )));
+                }
+                hac_obs::counter("hac_net_client_bytes_read_total", &[("ns", &self.ns.0)])
+                    .add(resp.wire_len as u64);
+                self.pool.put_back(conn);
+                match resp.body {
+                    ResponseBody::Err(e) => Err(AttemptError::Wire(e)),
+                    ok => Ok(ok),
+                }
+            }
+            Err(e) => {
+                self.pool.discard();
+                let _ = conn.shutdown(Shutdown::Both);
+                Err(AttemptError::Io(e))
+            }
+        }
+    }
+
+    /// Full request with retry. `op` labels the metrics.
+    fn request(&self, op: &'static str, body: RequestBody) -> Result<ResponseBody, RemoteError> {
+        let labels = [("ns", self.ns.0.as_str()), ("op", op)];
+        let start = Instant::now();
+        let policy = &self.config.retry;
+        let mut failures = 0u64;
+        let result = loop {
+            match self.attempt(&body) {
+                Ok(ok) => break Ok(ok),
+                Err(e) => {
+                    let (remote, retriable) = e.classify();
+                    failures += 1;
+                    if !retriable || failures >= u64::from(policy.max_attempts.max(1)) {
+                        break Err(remote);
+                    }
+                    hac_obs::counter("hac_net_retries_total", &labels).inc();
+                    let delay = {
+                        let mut jitter = self.jitter.lock().expect("jitter poisoned");
+                        policy.delay(failures, &mut jitter)
+                    };
+                    std::thread::sleep(delay);
+                }
+            }
+        };
+        hac_obs::counter("hac_net_requests_total", &labels).inc();
+        hac_obs::histogram("hac_net_request_duration_us", &labels)
+            .record(start.elapsed().as_micros() as u64);
+        if result.is_err() {
+            hac_obs::counter("hac_net_errors_total", &labels).inc();
+        }
+        result
+    }
+}
+
+impl Drop for NetRemote {
+    fn drop(&mut self) {
+        self.disconnect();
+    }
+}
+
+impl RemoteQuerySystem for NetRemote {
+    fn namespace(&self) -> NamespaceId {
+        self.ns.clone()
+    }
+
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+        match self.request(
+            "search",
+            RequestBody::Search {
+                ns: self.ns.0.clone(),
+                query: query.clone(),
+            },
+        )? {
+            ResponseBody::Docs(docs) => Ok(docs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "fetch",
+            RequestBody::Fetch {
+                ns: self.ns.0.clone(),
+                doc: id.to_string(),
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// A decoded response plus how many wire bytes it occupied.
+struct Received {
+    id: u64,
+    body: ResponseBody,
+    wire_len: usize,
+}
+
+fn exchange(mut conn: &TcpStream, req: &Request, max_len: u32) -> io::Result<Received> {
+    let bytes = wire::encode_request(req);
+    wire::write_frame(&mut conn, &bytes)?;
+    hac_obs::counter("hac_net_client_bytes_written_total", &[]).add(bytes.len() as u64 + 8);
+    let payload = wire::read_frame(&mut conn, max_len)?;
+    let resp: Response = wire::decode_response(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Received {
+        id: resp.id,
+        body: resp.body,
+        wire_len: payload.len() + 8,
+    })
+}
+
+fn unexpected(body: ResponseBody) -> RemoteError {
+    RemoteError::Unavailable(format!("unexpected response kind: {body:?}"))
+}
+
+/// One attempt's failure, before the retry loop classifies it.
+enum AttemptError {
+    /// Transport-level: socket errors, timeouts, garbled frames.
+    Io(io::Error),
+    /// The server answered with a protocol-level error.
+    Wire(WireError),
+}
+
+impl From<RemoteError> for AttemptError {
+    fn from(e: RemoteError) -> Self {
+        // Pool-checkout timeout arrives as a RemoteError already.
+        AttemptError::Wire(WireError::Remote(e))
+    }
+}
+
+impl AttemptError {
+    /// Maps onto the `RemoteError` taxonomy and decides retriability.
+    fn classify(&self) -> (RemoteError, bool) {
+        match self {
+            AttemptError::Io(e) => match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => (RemoteError::Timeout, true),
+                io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof => (RemoteError::Unavailable(e.to_string()), true),
+                _ => (RemoteError::Unavailable(e.to_string()), false),
+            },
+            AttemptError::Wire(w) => (w.clone().into_remote_error(), w.is_retriable()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_tcp_and_rejects_the_rest() {
+        let (addr, ns) = NetRemote::parse_url("tcp://127.0.0.1:9470/library").unwrap();
+        assert_eq!(addr, "127.0.0.1:9470");
+        assert_eq!(ns, "library");
+        assert!(NetRemote::parse_url("http://x/y").is_err());
+        assert!(NetRemote::parse_url("tcp://hostonly").is_err());
+        assert!(NetRemote::parse_url("tcp:///ns").is_err());
+        assert!(NetRemote::parse_url("tcp://host:1/").is_err());
+    }
+
+    #[test]
+    fn refused_connection_maps_to_unavailable_after_retries() {
+        // Bind-then-drop gives us a port that refuses connections.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut config = ClientConfig::default();
+        config.retry.max_attempts = 2;
+        config.retry.base_delay = Duration::from_millis(1);
+        let client = NetRemote::connect("nowhere", &format!("127.0.0.1:{port}"), config);
+        let err = client.search(&ContentExpr::All).unwrap_err();
+        assert!(matches!(err, RemoteError::Unavailable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn classify_separates_retriable_from_fatal() {
+        let timeout = AttemptError::Io(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(matches!(timeout.classify(), (RemoteError::Timeout, true)));
+        let refused = AttemptError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "r"));
+        assert!(matches!(
+            refused.classify(),
+            (RemoteError::Unavailable(_), true)
+        ));
+        let notfound = AttemptError::Wire(WireError::Remote(RemoteError::NotFound("x".into())));
+        assert!(matches!(
+            notfound.classify(),
+            (RemoteError::NotFound(_), false)
+        ));
+        let unknown = AttemptError::Wire(WireError::UnknownNamespace("x".into()));
+        assert!(matches!(
+            unknown.classify(),
+            (RemoteError::Unavailable(_), false)
+        ));
+        let bad = AttemptError::Io(io::Error::new(io::ErrorKind::InvalidData, "d"));
+        assert!(matches!(
+            bad.classify(),
+            (RemoteError::Unavailable(_), false)
+        ));
+    }
+}

@@ -1,0 +1,612 @@
+//! `HacServer`: exports [`RemoteQuerySystem`] backends over TCP.
+//!
+//! Architecture: one accept thread pushes connections into a bounded queue
+//! drained by a fixed pool of worker threads; each worker owns one
+//! connection at a time and serves its requests sequentially (clients
+//! pipeline by sending several frames before reading responses — ids keep
+//! answers matchable). Overflowing the queue *rejects* the connection
+//! rather than queueing unboundedly; per-connection read/write deadlines
+//! bound a stalled peer; shutdown is graceful — in-flight requests finish,
+//! then every thread is joined.
+//!
+//! Metrics: `hac_net_server_requests_total{op}`,
+//! `hac_net_server_request_duration_us{op}`,
+//! `hac_net_server_errors_total{op}`, `hac_net_server_connections_total`,
+//! `hac_net_server_active_connections`, `hac_net_server_rejected_total`,
+//! and per-connection byte counters
+//! `hac_net_server_bytes_{read,written}_total`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hac_core::RemoteQuerySystem;
+
+use crate::wire::{
+    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+};
+
+/// Tuning for a [`HacServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted-but-unserved connections held before rejecting new ones.
+    pub queue_depth: usize,
+    /// Deadline for reading the remainder of a frame once its first byte
+    /// arrived (also the idle poll tick while waiting for a frame).
+    pub read_timeout: Duration,
+    /// Deadline for writing a response.
+    pub write_timeout: Duration,
+    /// Ceiling on one frame's payload.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Bounded handoff queue between the accept thread and the workers
+/// (`std::mpsc` receivers are not `Sync`, so this is a hand-rolled
+/// Mutex+Condvar queue all workers can drain).
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Returns `false` (rejecting the connection) when full.
+    fn push(&self, conn: TcpStream) -> bool {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        if q.len() >= self.cap {
+            return false;
+        }
+        q.push_back(conn);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Returns an already-admitted connection to the rotation. Never
+    /// rejects: the cap was enforced at admission time.
+    fn requeue(&self, conn: TcpStream) {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        q.push_back(conn);
+        self.ready.notify_one();
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        if let Some(c) = q.pop_front() {
+            return Some(c);
+        }
+        let (mut q, _) = self
+            .ready
+            .wait_timeout(q, timeout)
+            .expect("conn queue poisoned");
+        q.pop_front()
+    }
+}
+
+/// A running TCP server exporting one or more remote name spaces.
+pub struct HacServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HacServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `backends`.
+    /// Each backend is exported under its own
+    /// [`namespace`](RemoteQuerySystem::namespace); registering two
+    /// backends with the same namespace id keeps the first.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        backends: Vec<Arc<dyn RemoteQuerySystem>>,
+        config: ServerConfig,
+    ) -> io::Result<HacServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let mut map: BTreeMap<String, Arc<dyn RemoteQuerySystem>> = BTreeMap::new();
+        for b in backends {
+            map.entry(b.namespace().0).or_insert(b);
+        }
+        let backends = Arc::new(map);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(config.queue_depth.max(1)));
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let shutdown = Arc::clone(&shutdown);
+                let backends = Arc::clone(&backends);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    let active = hac_obs::gauge("hac_net_server_active_connections", &[]);
+                    while !shutdown.load(Ordering::Acquire) {
+                        if let Some(conn) = queue.pop_timeout(Duration::from_millis(50)) {
+                            match serve_turn(conn, &backends, &config, &shutdown) {
+                                Some(conn) => queue.requeue(conn),
+                                None => active.add(-1),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        hac_obs::gauge("hac_net_server_workers", &[]).set(config.workers.max(1) as i64);
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            hac_obs::counter("hac_net_server_connections_total", &[]).inc();
+                            let _ = stream.set_nodelay(true);
+                            if queue.push(stream) {
+                                hac_obs::gauge("hac_net_server_active_connections", &[]).add(1);
+                            } else {
+                                // Stream dropped: the peer sees a reset
+                                // instead of an unbounded queue.
+                                hac_obs::counter("hac_net_server_rejected_total", &[]).inc();
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        };
+
+        Ok(HacServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-flight requests finish, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HacServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+enum FrameEvent {
+    Frame(Vec<u8>),
+    Idle,
+    Closed,
+}
+
+/// How long a worker probes one connection for traffic before moving on to
+/// the next queued connection. A short quantum keeps more connections than
+/// workers responsive (round-robin), without closing quiet ones.
+const POLL_QUANTUM: Duration = Duration::from_millis(20);
+
+/// Frames a worker serves from one connection before requeueing it, so a
+/// chatty pipelining client cannot monopolise a worker forever.
+const FRAMES_PER_TURN: usize = 64;
+
+/// Reads the next frame, distinguishing "no frame started yet" (idle —
+/// requeue the connection) from "peer stalled mid-frame" (deadline
+/// exceeded, drop the connection). The first byte is awaited for only one
+/// [`POLL_QUANTUM`]; once a frame has started, the remainder gets the full
+/// per-connection read deadline.
+fn next_frame(conn: &mut TcpStream, config: &ServerConfig) -> FrameEvent {
+    let _ = conn.set_read_timeout(Some(POLL_QUANTUM));
+    let mut first = [0u8; 1];
+    match conn.read(&mut first) {
+        Ok(0) => return FrameEvent::Closed,
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return FrameEvent::Idle
+        }
+        Err(_) => return FrameEvent::Closed,
+    }
+    let _ = conn.set_read_timeout(Some(config.read_timeout));
+    let mut header = [0u8; 8];
+    header[0] = first[0];
+    if conn.read_exact(&mut header[1..]).is_err() {
+        return FrameEvent::Closed;
+    }
+    match wire::read_frame_after_header(conn, &header, config.max_frame_len) {
+        Ok(payload) => FrameEvent::Frame(payload),
+        Err(_) => FrameEvent::Closed,
+    }
+}
+
+/// Serves one scheduling turn on a connection: up to [`FRAMES_PER_TURN`]
+/// frames, or until it goes quiet for a [`POLL_QUANTUM`]. Returns the
+/// connection to be requeued (`Some`) or `None` once it is closed.
+fn serve_turn(
+    mut conn: TcpStream,
+    backends: &BTreeMap<String, Arc<dyn RemoteQuerySystem>>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> Option<TcpStream> {
+    let _ = conn.set_write_timeout(Some(config.write_timeout));
+    for _ in 0..FRAMES_PER_TURN {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let payload = match next_frame(&mut conn, config) {
+            FrameEvent::Frame(p) => p,
+            FrameEvent::Idle => return Some(conn),
+            FrameEvent::Closed => {
+                let _ = conn.shutdown(Shutdown::Both);
+                return None;
+            }
+        };
+        hac_obs::counter("hac_net_server_bytes_read_total", &[]).add(payload.len() as u64 + 8);
+        let response = match wire::decode_request(&payload) {
+            Ok(request) => dispatch(request, backends),
+            Err(_) => Response {
+                id: 0,
+                body: ResponseBody::Err(WireError::BadRequest("undecodable request".to_string())),
+            },
+        };
+        let bytes = wire::encode_response(&response);
+        if wire::write_frame(&mut conn, &bytes).is_err() {
+            let _ = conn.shutdown(Shutdown::Both);
+            return None;
+        }
+        hac_obs::counter("hac_net_server_bytes_written_total", &[]).add(bytes.len() as u64 + 8);
+    }
+    if shutdown.load(Ordering::Acquire) {
+        let _ = conn.shutdown(Shutdown::Both);
+        return None;
+    }
+    Some(conn)
+}
+
+fn dispatch(request: Request, backends: &BTreeMap<String, Arc<dyn RemoteQuerySystem>>) -> Response {
+    let op = request.body.op();
+    let start = Instant::now();
+    let body = match request.body {
+        RequestBody::Ping { version } => {
+            if version == PROTOCOL_VERSION {
+                ResponseBody::Pong {
+                    version: PROTOCOL_VERSION,
+                }
+            } else {
+                ResponseBody::Err(WireError::VersionMismatch {
+                    server: PROTOCOL_VERSION,
+                    client: version,
+                })
+            }
+        }
+        RequestBody::Capabilities => ResponseBody::Capabilities {
+            version: PROTOCOL_VERSION,
+            namespaces: backends.keys().cloned().collect(),
+        },
+        RequestBody::Search { ns, query } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.search(&query) {
+                Ok(docs) => ResponseBody::Docs(docs),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
+        RequestBody::Fetch { ns, doc } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.fetch(&doc) {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
+    };
+    let labels = [("op", op)];
+    hac_obs::counter("hac_net_server_requests_total", &labels).inc();
+    hac_obs::histogram("hac_net_server_request_duration_us", &labels)
+        .record(start.elapsed().as_micros() as u64);
+    if matches!(body, ResponseBody::Err(_)) {
+        hac_obs::counter("hac_net_server_errors_total", &labels).inc();
+    }
+    Response {
+        id: request.id,
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError};
+    use hac_index::ContentExpr;
+    use std::io::Write;
+
+    struct Fixed;
+
+    impl RemoteQuerySystem for Fixed {
+        fn namespace(&self) -> NamespaceId {
+            NamespaceId("fixed".to_string())
+        }
+        fn search(&self, _q: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+            Ok(vec![RemoteDoc {
+                id: "d1".into(),
+                title: "Doc".into(),
+            }])
+        }
+        fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+            if id == "d1" {
+                Ok(b"body".to_vec())
+            } else {
+                Err(RemoteError::NotFound(id.to_string()))
+            }
+        }
+    }
+
+    fn ask(conn: &mut TcpStream, req: &Request) -> Response {
+        let bytes = wire::encode_request(req);
+        wire::write_frame(conn, &bytes).unwrap();
+        let payload = wire::read_frame(conn, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        wire::decode_response(&payload).unwrap()
+    }
+
+    #[test]
+    fn raw_socket_request_response_cycle() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        let pong = ask(
+            &mut conn,
+            &Request {
+                id: 7,
+                body: RequestBody::Ping {
+                    version: PROTOCOL_VERSION,
+                },
+            },
+        );
+        assert_eq!(pong.id, 7);
+        assert_eq!(
+            pong.body,
+            ResponseBody::Pong {
+                version: PROTOCOL_VERSION
+            }
+        );
+
+        let caps = ask(
+            &mut conn,
+            &Request {
+                id: 8,
+                body: RequestBody::Capabilities,
+            },
+        );
+        assert_eq!(
+            caps.body,
+            ResponseBody::Capabilities {
+                version: PROTOCOL_VERSION,
+                namespaces: vec!["fixed".to_string()],
+            }
+        );
+
+        let hits = ask(
+            &mut conn,
+            &Request {
+                id: 9,
+                body: RequestBody::Search {
+                    ns: "fixed".into(),
+                    query: ContentExpr::All,
+                },
+            },
+        );
+        assert!(matches!(hits.body, ResponseBody::Docs(d) if d.len() == 1));
+
+        let missing = ask(
+            &mut conn,
+            &Request {
+                id: 10,
+                body: RequestBody::Fetch {
+                    ns: "fixed".into(),
+                    doc: "nope".into(),
+                },
+            },
+        );
+        assert_eq!(
+            missing.body,
+            ResponseBody::Err(WireError::Remote(RemoteError::NotFound("nope".into())))
+        );
+
+        let unknown_ns = ask(
+            &mut conn,
+            &Request {
+                id: 11,
+                body: RequestBody::Search {
+                    ns: "zzz".into(),
+                    query: ContentExpr::All,
+                },
+            },
+        );
+        assert_eq!(
+            unknown_ns.body,
+            ResponseBody::Err(WireError::UnknownNamespace("zzz".into()))
+        );
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order_with_matching_ids() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Send three requests before reading any response.
+        for id in [100u64, 101, 102] {
+            let bytes = wire::encode_request(&Request {
+                id,
+                body: RequestBody::Capabilities,
+            });
+            wire::write_frame(&mut conn, &bytes).unwrap();
+        }
+        for id in [100u64, 101, 102] {
+            let payload = wire::read_frame(&mut conn, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+            let resp = wire::decode_response(&payload).unwrap();
+            assert_eq!(resp.id, id);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = ask(
+            &mut conn,
+            &Request {
+                id: 1,
+                body: RequestBody::Ping { version: 999 },
+            },
+        );
+        assert_eq!(
+            resp.body,
+            ResponseBody::Err(WireError::VersionMismatch {
+                server: PROTOCOL_VERSION,
+                client: 999
+            })
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_do_not_kill_the_server() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        {
+            let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+            conn.write_all(b"this is not a frame at all").unwrap();
+        } // dropped: server sees bad magic and closes
+        {
+            // A well-formed frame with undecodable payload gets BadRequest.
+            let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            wire::write_frame(&mut conn, b"\xFF\xFF\xFF").unwrap();
+            let payload = wire::read_frame(&mut conn, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+            let resp = wire::decode_response(&payload).unwrap();
+            assert_eq!(resp.id, 0);
+            assert!(matches!(
+                resp.body,
+                ResponseBody::Err(WireError::BadRequest(_))
+            ));
+        }
+        // Server still answers a clean client.
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let pong = ask(
+            &mut conn,
+            &Request {
+                id: 2,
+                body: RequestBody::Ping {
+                    version: PROTOCOL_VERSION,
+                },
+            },
+        );
+        assert_eq!(pong.id, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_refuses_new_work() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        server.shutdown(); // must not hang
+                           // After shutdown the port no longer answers the protocol.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut conn) => {
+                conn.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                let bytes = wire::encode_request(&Request {
+                    id: 1,
+                    body: RequestBody::Capabilities,
+                });
+                let _ = wire::write_frame(&mut conn, &bytes);
+                assert!(wire::read_frame(&mut conn, wire::DEFAULT_MAX_FRAME_LEN).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The HAC wire protocol.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! ┌──────────┬──────────────┬───────────────────────────┐
+//! │ "HACN"   │ len: u32 LE  │ payload: len bytes        │
+//! │ 4 bytes  │ 4 bytes      │ serde binary codec        │
+//! └──────────┴──────────────┴───────────────────────────┘
+//! ```
+//!
+//! The payload is a [`Request`] or [`Response`] encoded with the same
+//! self-describing binary codec the VFS snapshot format uses
+//! ([`hac_vfs::persist`]), so the workspace carries exactly one
+//! serialization scheme. Requests carry client-chosen `id`s and responses
+//! echo them, so a client may pipeline several requests on one connection
+//! and match answers out of band.
+//!
+//! Versioning: the protocol version rides in the `ping` handshake (and in
+//! `capabilities`); a server refuses mismatched pings with
+//! [`WireError::VersionMismatch`] rather than guessing at frame shapes.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use hac_core::{RemoteDoc, RemoteError};
+use hac_index::ContentExpr;
+
+/// Version of the frame payload encoding. Bump on any incompatible change
+/// to [`Request`]/[`Response`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"HACN";
+
+/// Default ceiling on a single frame's payload (defends against a garbled
+/// or hostile length prefix allocating gigabytes).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id; the response echoes it.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Operations a client may request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Liveness + version handshake.
+    Ping {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// What namespaces does this server export?
+    Capabilities,
+    /// Evaluate a content query against one exported namespace.
+    Search {
+        /// Target namespace (a server may export several backends).
+        ns: String,
+        /// The content projection of the query.
+        query: ContentExpr,
+    },
+    /// Fetch one remote document's content.
+    Fetch {
+        /// Target namespace.
+        ns: String,
+        /// Remote document id (opaque to HAC).
+        doc: String,
+    },
+}
+
+impl RequestBody {
+    /// Metric label for this operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::Ping { .. } => "ping",
+            RequestBody::Capabilities => "capabilities",
+            RequestBody::Search { .. } => "search",
+            RequestBody::Fetch { .. } => "fetch",
+        }
+    }
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request's id (0 when the request was undecodable).
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// Outcomes a server may return.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// Answer to [`RequestBody::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Answer to [`RequestBody::Capabilities`].
+    Capabilities {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Exported namespace ids, sorted.
+        namespaces: Vec<String>,
+    },
+    /// Successful search: matching remote documents.
+    Docs(Vec<RemoteDoc>),
+    /// Successful fetch: the document's bytes.
+    Blob(Vec<u8>),
+    /// The request failed.
+    Err(WireError),
+}
+
+/// Errors that cross the wire. The transport-independent subset is
+/// [`RemoteError`]; the rest are protocol-level refusals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireError {
+    /// The backend reported a remote error (passed through verbatim).
+    Remote(RemoteError),
+    /// The server exports no namespace by that id.
+    UnknownNamespace(String),
+    /// The request frame decoded but made no sense.
+    BadRequest(String),
+    /// Client and server speak different protocol versions.
+    VersionMismatch {
+        /// The server's version.
+        server: u16,
+        /// The version the client announced.
+        client: u16,
+    },
+}
+
+impl WireError {
+    /// Collapses this error onto the mount-level [`RemoteError`] taxonomy
+    /// (what scope evaluation understands).
+    pub fn into_remote_error(self) -> RemoteError {
+        match self {
+            WireError::Remote(e) => e,
+            WireError::UnknownNamespace(ns) => {
+                RemoteError::Unavailable(format!("server exports no namespace {ns:?}"))
+            }
+            WireError::BadRequest(m) => {
+                RemoteError::UnsupportedQuery(format!("server rejected request: {m}"))
+            }
+            WireError::VersionMismatch { server, client } => RemoteError::Unavailable(format!(
+                "protocol version mismatch (server v{server}, client v{client})"
+            )),
+        }
+    }
+
+    /// Whether retrying the same request can plausibly succeed.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Remote(RemoteError::Unavailable(_))
+                | WireError::Remote(RemoteError::Timeout)
+        )
+    }
+}
+
+impl From<RemoteError> for WireError {
+    fn from(e: RemoteError) -> Self {
+        WireError::Remote(e)
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, enforcing the magic and `max_len`.
+///
+/// # Errors
+///
+/// `InvalidData` for a bad magic or oversized length prefix;
+/// `UnexpectedEof` for a connection closed mid-frame; otherwise the
+/// underlying reader's error (including timeouts).
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    read_frame_after_header(r, &header, max_len)
+}
+
+/// Completes [`read_frame`] when the 8-byte header was already read (the
+/// server reads the first byte separately to distinguish idle polls from
+/// stalled mid-frame reads).
+///
+/// # Errors
+///
+/// Same taxonomy as [`read_frame`].
+pub fn read_frame_after_header<R: Read>(
+    r: &mut R,
+    header: &[u8; 8],
+    max_len: u32,
+) -> io::Result<Vec<u8>> {
+    if header[..4] != FRAME_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad frame magic",
+        ));
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {max_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn invalid(kind: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("undecodable {kind}"))
+}
+
+/// Encodes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    hac_vfs::persist::encode_value(req).unwrap_or_default()
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// `InvalidData` when the bytes are not a valid request.
+pub fn decode_request(bytes: &[u8]) -> io::Result<Request> {
+    hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("request"))
+}
+
+/// Encodes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    hac_vfs::persist::encode_value(resp).unwrap_or_default()
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// `InvalidData` when the bytes are not a valid response.
+pub fn decode_response(bytes: &[u8]) -> io::Result<Response> {
+    hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("response"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = encode_response(&resp);
+        let back = decode_response(&bytes).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request {
+            id: 1,
+            body: RequestBody::Ping {
+                version: PROTOCOL_VERSION,
+            },
+        });
+        roundtrip_req(Request {
+            id: 2,
+            body: RequestBody::Capabilities,
+        });
+        roundtrip_req(Request {
+            id: u64::MAX,
+            body: RequestBody::Search {
+                ns: "web".into(),
+                query: ContentExpr::and_not(
+                    ContentExpr::term("fingerprint"),
+                    ContentExpr::or(ContentExpr::All, ContentExpr::Phrase(vec!["a".into()])),
+                ),
+            },
+        });
+        roundtrip_req(Request {
+            id: 3,
+            body: RequestBody::Fetch {
+                ns: "lib".into(),
+                doc: "/pub/a.txt".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response {
+            id: 9,
+            body: ResponseBody::Pong {
+                version: PROTOCOL_VERSION,
+            },
+        });
+        roundtrip_resp(Response {
+            id: 10,
+            body: ResponseBody::Capabilities {
+                version: 1,
+                namespaces: vec!["a".into(), "b".into()],
+            },
+        });
+        roundtrip_resp(Response {
+            id: 11,
+            body: ResponseBody::Docs(vec![RemoteDoc {
+                id: "u1".into(),
+                title: "T".into(),
+            }]),
+        });
+        roundtrip_resp(Response {
+            id: 12,
+            body: ResponseBody::Blob(vec![0, 1, 2, 255]),
+        });
+        for err in [
+            WireError::Remote(RemoteError::Timeout),
+            WireError::Remote(RemoteError::NotFound("x".into())),
+            WireError::UnknownNamespace("zzz".into()),
+            WireError::BadRequest("nope".into()),
+            WireError::VersionMismatch {
+                server: 1,
+                client: 2,
+            },
+        ] {
+            roundtrip_resp(Response {
+                id: 13,
+                body: ResponseBody::Err(err),
+            });
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let payload = encode_request(&Request {
+            id: 42,
+            body: RequestBody::Capabilities,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let got = read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_are_refused() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf[0] = b'X';
+        let err = read_frame(&mut io::Cursor::new(&buf), DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut io::Cursor::new(&buf), 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_are_eof_not_panic() {
+        let payload = encode_response(&Response {
+            id: 1,
+            body: ResponseBody::Blob(vec![7; 64]),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        for cut in [1, 4, 8, 12, buf.len() - 1] {
+            let err =
+                read_frame(&mut io::Cursor::new(&buf[..cut]), DEFAULT_MAX_FRAME_LEN).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbled_payload_decodes_to_error_not_panic() {
+        let payload = encode_response(&Response {
+            id: 5,
+            body: ResponseBody::Docs(vec![RemoteDoc {
+                id: "a".into(),
+                title: "b".into(),
+            }]),
+        });
+        for i in 0..payload.len() {
+            let mut garbled = payload.clone();
+            garbled[i] ^= 0xFF;
+            // Any outcome is fine except a panic; most flips must fail.
+            let _ = decode_response(&garbled);
+        }
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_request(b"garbage").is_err());
+    }
+
+    #[test]
+    fn wire_error_taxonomy_maps_onto_remote_error() {
+        assert_eq!(
+            WireError::Remote(RemoteError::Timeout).into_remote_error(),
+            RemoteError::Timeout
+        );
+        assert!(matches!(
+            WireError::UnknownNamespace("x".into()).into_remote_error(),
+            RemoteError::Unavailable(_)
+        ));
+        assert!(matches!(
+            WireError::VersionMismatch {
+                server: 1,
+                client: 9
+            }
+            .into_remote_error(),
+            RemoteError::Unavailable(_)
+        ));
+        assert!(matches!(
+            WireError::BadRequest("m".into()).into_remote_error(),
+            RemoteError::UnsupportedQuery(_)
+        ));
+        assert!(WireError::Remote(RemoteError::Timeout).is_retriable());
+        assert!(WireError::Remote(RemoteError::Unavailable("x".into())).is_retriable());
+        assert!(!WireError::Remote(RemoteError::NotFound("x".into())).is_retriable());
+        assert!(!WireError::BadRequest("m".into()).is_retriable());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the wire codec: any request/response — including
+//! deeply nested `ContentExpr` trees and arbitrary byte payloads — must
+//! survive an encode → frame → unframe → decode round trip bit-for-bit.
+
+use proptest::prelude::*;
+
+use hac_core::remote::{RemoteDoc, RemoteError};
+use hac_index::ContentExpr;
+use hac_net::wire::{
+    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+};
+
+fn expr_strategy() -> impl Strategy<Value = ContentExpr> {
+    let leaf = prop_oneof![
+        "[a-z]{0,8}".prop_map(ContentExpr::Term),
+        ("[a-z]{1,6}", "[a-z0-9 ]{0,10}").prop_map(|(k, v)| ContentExpr::Field(k, v)),
+        proptest::collection::vec("[a-z]{1,6}", 0..4).prop_map(ContentExpr::Phrase),
+        ("[a-z]{1,8}", 0u8..3).prop_map(|(w, d)| ContentExpr::Approx(w, d)),
+        "[a-z]{1,6}".prop_map(ContentExpr::Prefix),
+        Just(ContentExpr::All),
+        Just(ContentExpr::Nothing),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::and_not(a, b)),
+            inner.prop_map(ContentExpr::not),
+        ]
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = RequestBody> {
+    prop_oneof![
+        any::<u16>().prop_map(|version| RequestBody::Ping { version }),
+        Just(RequestBody::Capabilities),
+        ("[a-z0-9/_.-]{0,12}", expr_strategy())
+            .prop_map(|(ns, query)| RequestBody::Search { ns, query }),
+        ("[a-z0-9/_.-]{0,12}", "[a-z0-9/_. -]{0,24}")
+            .prop_map(|(ns, doc)| RequestBody::Fetch { ns, doc }),
+    ]
+}
+
+fn remote_error_strategy() -> impl Strategy<Value = RemoteError> {
+    prop_oneof![
+        "[a-z0-9 ]{0,16}".prop_map(RemoteError::Unavailable),
+        Just(RemoteError::Timeout),
+        "[a-z0-9 ]{0,16}".prop_map(RemoteError::NotFound),
+        "[a-z0-9 ]{0,16}".prop_map(RemoteError::UnsupportedQuery),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = ResponseBody> {
+    let docs = proptest::collection::vec(
+        ("[a-z0-9 ]{0,16}", "[a-z0-9/_. -]{0,24}").prop_map(|(id, title)| RemoteDoc { id, title }),
+        0..6,
+    );
+    let err = prop_oneof![
+        remote_error_strategy().prop_map(WireError::Remote),
+        "[a-z0-9/_.-]{0,12}".prop_map(WireError::UnknownNamespace),
+        "[a-z0-9/_. -]{0,24}".prop_map(WireError::BadRequest),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(server, client)| WireError::VersionMismatch { server, client }),
+    ];
+    prop_oneof![
+        any::<u16>().prop_map(|version| ResponseBody::Pong { version }),
+        (any::<u16>(), proptest::collection::vec("[a-z]{0,10}", 0..5)).prop_map(
+            |(version, namespaces)| ResponseBody::Capabilities {
+                version,
+                namespaces
+            }
+        ),
+        docs.prop_map(ResponseBody::Docs),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(ResponseBody::Blob),
+        err.prop_map(ResponseBody::Err),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_roundtrip_through_frames(
+        id in any::<u64>(),
+        body in request_strategy(),
+    ) {
+        let req = Request { id, body };
+        let payload = wire::encode_request(&req);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &payload).unwrap();
+        let unframed =
+            wire::read_frame(&mut framed.as_slice(), wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        prop_assert_eq!(&unframed, &payload);
+        let back = wire::decode_request(&unframed).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_roundtrip_through_frames(
+        id in any::<u64>(),
+        body in response_strategy(),
+    ) {
+        let resp = Response { id, body };
+        let payload = wire::encode_response(&resp);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &payload).unwrap();
+        let unframed =
+            wire::read_frame(&mut framed.as_slice(), wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        let back = wire::decode_response(&unframed).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking(
+        body in request_strategy(),
+        cut in any::<usize>(),
+    ) {
+        let req = Request { id: 1, body };
+        let payload = wire::encode_request(&req);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &payload).unwrap();
+        let cut = cut % framed.len();
+        let err = wire::read_frame(&mut framed[..cut].as_ref(), wire::DEFAULT_MAX_FRAME_LEN);
+        prop_assert!(err.is_err(), "cut at {} of {} still decoded", cut, framed.len());
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_never_panic(
+        body in request_strategy(),
+        flip_at in any::<usize>(),
+        xor in 1u8..255,
+    ) {
+        let req = Request { id: 9, body };
+        let mut payload = wire::encode_request(&req);
+        let at = flip_at % payload.len().max(1);
+        if let Some(b) = payload.get_mut(at) {
+            *b ^= xor;
+        }
+        // Either decodes to *something* or errors — must not panic.
+        let _ = wire::decode_request(&payload);
+    }
+}
+
+#[test]
+fn version_constant_is_stable() {
+    // Bumping the protocol version is a compatibility event; this test
+    // makes it a conscious one.
+    assert_eq!(PROTOCOL_VERSION, 1);
+}

@@ -16,18 +16,7 @@ use parking_lot::RwLock;
 use hac_core::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
 use hac_index::{tokenize_text, Bitmap, ContentExpr, DocId, Granularity, Index, Token};
 
-/// Failure-injection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FailurePolicy {
-    /// Never fail.
-    None,
-    /// Fail every request with `Unavailable`.
-    AlwaysDown,
-    /// Fail each request whose sequence number is a multiple of `n`.
-    EveryNth(u64),
-    /// Time out every request (models a hung remote).
-    AlwaysTimeout,
-}
+pub use hac_core::FailurePolicy;
 
 struct Store {
     index: Index,
@@ -116,17 +105,7 @@ impl WebSearchSim {
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
-        match *self.policy.read() {
-            FailurePolicy::None => Ok(()),
-            FailurePolicy::AlwaysDown => {
-                Err(RemoteError::Unavailable("engine offline".to_string()))
-            }
-            FailurePolicy::EveryNth(k) if k > 0 && n.is_multiple_of(k) => Err(
-                RemoteError::Unavailable(format!("transient fault on request {n}")),
-            ),
-            FailurePolicy::EveryNth(_) => Ok(()),
-            FailurePolicy::AlwaysTimeout => Err(RemoteError::Timeout),
-        }
+        self.policy.read().check(n)
     }
 }
 

@@ -19,7 +19,7 @@ pub mod parse;
 use std::fmt;
 use std::sync::Arc;
 
-use hac_core::{HacError, HacFs, LinkKind, LinkTarget};
+use hac_core::{HacError, HacFs, LinkKind, LinkTarget, RemoteQuerySystem};
 use hac_vfs::{NodeKind, VPath};
 
 /// Shell-level errors (wrapping HAC errors with usage problems).
@@ -59,10 +59,12 @@ impl From<hac_vfs::VfsError> for ShellError {
     }
 }
 
-/// A shell session: a file system plus a working directory.
+/// A shell session: a file system plus a working directory, and (after
+/// `serve`) a network server exporting it.
 pub struct Shell {
     fs: Arc<HacFs>,
     cwd: VPath,
+    server: Option<hac_net::HacServer>,
 }
 
 impl Default for Shell {
@@ -77,6 +79,7 @@ impl Shell {
         Shell {
             fs: Arc::new(HacFs::new()),
             cwd: VPath::root(),
+            server: None,
         }
     }
 
@@ -85,7 +88,13 @@ impl Shell {
         Shell {
             fs,
             cwd: VPath::root(),
+            server: None,
         }
+    }
+
+    /// Address of the running `serve` instance, if any.
+    pub fn server_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(hac_net::HacServer::local_addr)
     }
 
     /// The wrapped file system.
@@ -181,7 +190,14 @@ impl Shell {
             "cat" => match args {
                 [p] => {
                     let path = self.resolve_arg(p)?;
-                    let data = self.fs.read_file(&path)?;
+                    // Semdir links can point at remote documents that only
+                    // exist behind a mount; fetch_link resolves both those
+                    // and ordinary local symlink targets.
+                    let data = if self.fs.vfs().lstat(&path)?.kind == NodeKind::Symlink {
+                        self.fs.fetch_link(&path)?
+                    } else {
+                        self.fs.read_file(&path)?.to_vec()
+                    };
                     Ok(String::from_utf8_lossy(&data).to_string())
                 }
                 _ => Err(ShellError::Usage("cat <file>")),
@@ -373,6 +389,62 @@ impl Shell {
                 }
                 _ => Err(ShellError::Usage("pin <link>")),
             },
+            // --- the network layer ---------------------------------------
+            "serve" => match args {
+                [word] if word == "stop" => match self.server.take() {
+                    Some(server) => {
+                        let addr = server.local_addr();
+                        server.shutdown();
+                        Ok(format!("stopped server on {addr}\n"))
+                    }
+                    None => Ok("no server running\n".to_string()),
+                },
+                [word] if word == "status" => Ok(match &self.server {
+                    Some(s) => format!("serving on {}\n", s.local_addr()),
+                    None => "no server running\n".to_string(),
+                }),
+                [addr, ns, rest @ ..] if rest.len() <= 1 => {
+                    if self.server.is_some() {
+                        return Err(ShellError::Usage(
+                            "serve: already running (use `serve stop` first)",
+                        ));
+                    }
+                    let export = match rest {
+                        [dir] => self.resolve_arg(dir)?,
+                        _ => VPath::root(),
+                    };
+                    let backend =
+                        Arc::new(hac_remote::RemoteHac::new(ns, Arc::clone(&self.fs), export));
+                    let server = hac_net::HacServer::serve(
+                        addr.as_str(),
+                        vec![backend],
+                        hac_net::ServerConfig::default(),
+                    )
+                    .map_err(|e| {
+                        ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                            e.to_string(),
+                        )))
+                    })?;
+                    let bound = server.local_addr();
+                    self.server = Some(server);
+                    Ok(format!("serving {ns} on tcp://{bound}/{ns}\n"))
+                }
+                _ => Err(ShellError::Usage(
+                    "serve <addr> <namespace> [dir] | serve stop | serve status",
+                )),
+            },
+            "mount" => match args {
+                [p, url] if url.starts_with("tcp://") => {
+                    let dir = self.resolve_arg(p)?;
+                    let remote =
+                        hac_net::NetRemote::from_url(url, hac_net::ClientConfig::default())
+                            .map_err(HacError::Remote)?;
+                    let ns = remote.namespace();
+                    self.fs.smount(&dir, Arc::new(remote))?;
+                    Ok(format!("mounted {ns} at {dir}\n"))
+                }
+                _ => Err(ShellError::Usage("mount <dir> tcp://host:port/namespace")),
+            },
             "mounts" => match args {
                 [p] => {
                     let namespaces = self.fs.mounts_at(&self.resolve_arg(p)?)?;
@@ -475,6 +547,8 @@ ln readlink
 semantic    : smkdir <dir> <query> | query <dir> | chquery <dir> <query> | \
 sact <link> | ssync [path] | find <query> | explain <query>
 curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
+network     : serve <addr> <ns> [dir] | serve stop | serve status | \
+mount <dir> tcp://host:port/ns
 other       : mounts <dir> | stats [--prom|--events] | help
 ";
 
@@ -585,6 +659,51 @@ mod tests {
         assert!(!out.contains("/other/z.txt"));
         let empty = sh.exec("find nosuchword").unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn serve_and_mount_over_loopback() {
+        // One shell exports its fs; a second mounts it over real TCP.
+        let mut exporter = Shell::new();
+        exporter
+            .exec_script(
+                "mkdir /pub; write /pub/notes.txt shared semantic notes; \
+                 write /pub/misc.txt grocery list; ssync",
+            )
+            .unwrap();
+        let out = exporter.exec("serve 127.0.0.1:0 team /pub").unwrap();
+        assert!(out.contains("serving team on tcp://"), "{out}");
+        let addr = exporter.server_addr().expect("server running");
+        assert!(exporter
+            .exec("serve status")
+            .unwrap()
+            .contains(&addr.to_string()));
+        assert!(matches!(
+            exporter.exec("serve 127.0.0.1:0 again"),
+            Err(ShellError::Usage(_))
+        ));
+
+        let mut importer = Shell::new();
+        importer.exec("mkdir /lib").unwrap();
+        let out = importer
+            .exec(&format!("mount /lib tcp://{addr}/team"))
+            .unwrap();
+        assert!(out.contains("mounted team at /lib"), "{out}");
+        assert_eq!(importer.exec("mounts /lib").unwrap(), "team\n");
+        let out = importer.exec("smkdir /sem semantic").unwrap();
+        assert!(out.contains("1 links"), "{out}");
+        assert!(importer.exec("ls /sem").unwrap().contains("notes.txt"));
+        // cat follows the remote link and fetches the bytes over the wire.
+        let body = importer.exec("cat /sem/notes.txt").unwrap();
+        assert!(body.contains("shared semantic notes"), "{body}");
+
+        assert!(matches!(
+            importer.exec("mount /lib http://nope/x"),
+            Err(ShellError::Usage(_))
+        ));
+        let stopped = exporter.exec("serve stop").unwrap();
+        assert!(stopped.contains("stopped server"), "{stopped}");
+        assert_eq!(exporter.exec("serve stop").unwrap(), "no server running\n");
     }
 
     #[test]

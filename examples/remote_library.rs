@@ -3,13 +3,17 @@
 //! Mounts a simulated web search engine, a flat file server, and a
 //! colleague's exported HAC file system onto one multiple semantic mount
 //! point, builds a personal classification of the union, and shows the
-//! failure behaviour when a remote goes down.
+//! failure behaviour when a remote goes down. The colleague's export is
+//! the real thing: their `HacFs` runs behind a `HacServer` on a loopback
+//! TCP socket, and we mount it through a `NetRemote` client — the same
+//! machinery, but with actual bytes on an actual wire.
 //!
 //! Run with: `cargo run --example remote_library`
 
 use std::sync::Arc;
 
 use hac::prelude::*;
+use hac_net::{ClientConfig, HacServer, NetRemote, ServerConfig};
 use hac_remote::FailurePolicy;
 
 fn p(s: &str) -> VPath {
@@ -50,8 +54,9 @@ fn main() -> HacResult<()> {
     );
     flat.put("meeting-log", b"weekly meeting log");
 
-    // Remote 3: a colleague's HAC export — including a directory they
-    // curated by hand.
+    // Remote 3: a colleague's HAC export, served over real TCP. Their
+    // machine runs a HacServer exporting /pub; we dial it with a NetRemote
+    // that drops into smount like any other remote query system.
     let colleague_fs = Arc::new(HacFs::new());
     colleague_fs.mkdir_p(&p("/pub"))?;
     colleague_fs.save(
@@ -60,7 +65,19 @@ fn main() -> HacResult<()> {
     )?;
     colleague_fs.save(&p("/pub/gossip.txt"), b"hallway gossip")?;
     colleague_fs.ssync(&p("/"))?;
-    let colleague = Arc::new(RemoteHac::new("colleague", colleague_fs, p("/pub")));
+    let server = HacServer::serve(
+        "127.0.0.1:0",
+        vec![Arc::new(RemoteHac::new(
+            "colleague",
+            colleague_fs,
+            p("/pub"),
+        ))],
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let url = format!("tcp://{}/colleague", server.local_addr());
+    println!("colleague's export is live at {url}");
+    let colleague = Arc::new(NetRemote::from_url(&url, ClientConfig::default())?);
 
     // One *multiple semantic mount point* carries all three (§3.2): "the
     // scope of queries asked within a multiple semantic mount point is
@@ -109,5 +126,7 @@ fn main() -> HacResult<()> {
     fs.ssync(&p("/"))?;
     println!("\nafter unmounting the web engine:");
     ls(&fs, "/home/me/semantic-fs");
+
+    server.shutdown();
     Ok(())
 }

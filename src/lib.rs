@@ -13,6 +13,7 @@
 //! * [`index`] — the Glimpse-like content index;
 //! * [`query`] — the query language;
 //! * [`remote`] — simulated remote name spaces;
+//! * [`net`] — the wire protocol and TCP server/client for real ones;
 //! * [`corpus`] — deterministic workload generators.
 //!
 //! ```
@@ -33,6 +34,7 @@
 pub use hac_core as core;
 pub use hac_corpus as corpus;
 pub use hac_index as index;
+pub use hac_net as net;
 pub use hac_query as query;
 pub use hac_remote as remote;
 pub use hac_vfs as vfs;
@@ -44,6 +46,7 @@ pub mod prelude {
         RemoteQuerySystem, SyncReport,
     };
     pub use hac_index::{Bitmap, ContentExpr, DocId, Granularity};
+    pub use hac_net::{HacServer, NetRemote};
     pub use hac_query::{parse, Query};
     pub use hac_remote::{FlatFileServer, RemoteHac, WebSearchSim};
     pub use hac_vfs::{VPath, Vfs};
