@@ -1,0 +1,134 @@
+//! Tracing overhead: the same query and reindex work measured with
+//! distributed tracing enabled vs disabled, emitted as `BENCH_trace.json`.
+//!
+//! `cargo run -p hac-bench --release --bin trace`
+//!
+//! Every operation runs under a root span either way (metrics are always
+//! on); the toggle controls id minting, context propagation, and
+//! histogram exemplars — exactly what `hac_obs::set_tracing_enabled`
+//! gates in production. Flags: `--files N --queries N --passes N` scale
+//! the workload; `--smoke` shrinks everything to CI size; `--out PATH`
+//! moves the JSON snapshot (default `BENCH_trace.json`).
+
+use std::time::{Duration, Instant};
+
+use hac_bench::{arg_flag, arg_str, arg_usize, report_metrics_snapshot};
+use hac_core::HacFs;
+use hac_vfs::VPath;
+
+fn p(s: &str) -> VPath {
+    VPath::parse(s).expect("static path")
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Builds a corpus of `files` documents (1/8 match the probe query) with
+/// a few semantic directories so resync passes do real work.
+fn build_fs(files: usize) -> HacFs {
+    let fs = HacFs::new();
+    fs.mkdir_p(&p("/docs")).unwrap();
+    for i in 0..files {
+        let body = if i % 8 == 0 {
+            format!("trace probe document {i} with needle term")
+        } else {
+            format!("filler document {i} about unrelated matters")
+        };
+        fs.save(&p(&format!("/docs/f{i}.txt")), body.as_bytes())
+            .unwrap();
+    }
+    fs.ssync(&p("/")).unwrap();
+    fs.smkdir(&p("/needles"), "needle").unwrap();
+    fs.smkdir(&p("/fillers"), "filler").unwrap();
+    fs
+}
+
+/// p50 of `n` root-spanned query evaluations.
+fn query_p50(fs: &HacFs, n: usize) -> Duration {
+    let mut lat = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = Instant::now();
+        let _root = hac_obs::span!("bench_query");
+        let hits = fs.search(&p("/"), "needle").expect("search");
+        lat.push(t.elapsed());
+        assert!(!hits.is_empty());
+    }
+    lat.sort();
+    percentile(&lat, 50.0)
+}
+
+/// p50 of `n` root-spanned incremental reindex passes; each pass touches
+/// one file so the dirty path (tokenize + resync) runs.
+fn reindex_p50(fs: &HacFs, n: usize) -> Duration {
+    let mut lat = Vec::with_capacity(n);
+    for i in 0..n {
+        fs.save(
+            &p("/docs/f0.txt"),
+            format!("trace probe document rewritten {i} with needle term").as_bytes(),
+        )
+        .unwrap();
+        let t = Instant::now();
+        let _root = hac_obs::span!("bench_reindex");
+        fs.ssync(&p("/")).expect("ssync");
+        lat.push(t.elapsed());
+    }
+    lat.sort();
+    percentile(&lat, 50.0)
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let files = arg_usize("files", if smoke { 200 } else { 2000 });
+    let queries = arg_usize("queries", if smoke { 100 } else { 1000 });
+    let passes = arg_usize("passes", if smoke { 40 } else { 200 });
+
+    let fs = build_fs(files);
+
+    // Warm both paths before measuring either mode.
+    let _ = query_p50(&fs, queries / 10 + 1);
+    let _ = reindex_p50(&fs, passes / 10 + 1);
+
+    hac_obs::set_tracing_enabled(true);
+    let query_on = query_p50(&fs, queries);
+    let reindex_on = reindex_p50(&fs, passes);
+
+    hac_obs::set_tracing_enabled(false);
+    let query_off = query_p50(&fs, queries);
+    let reindex_off = reindex_p50(&fs, passes);
+    hac_obs::set_tracing_enabled(true);
+
+    let overhead = |on: Duration, off: Duration| (us(on) - us(off)) / us(off).max(1e-9) * 100.0;
+    println!("Tracing overhead bench ({files} files, {queries} queries, {passes} passes)");
+    println!(
+        "  query   p50: on {:>9.1} us   off {:>9.1} us   overhead {:+.1}%",
+        us(query_on),
+        us(query_off),
+        overhead(query_on, query_off)
+    );
+    println!(
+        "  reindex p50: on {:>9.1} us   off {:>9.1} us   overhead {:+.1}%",
+        us(reindex_on),
+        us(reindex_off),
+        overhead(reindex_on, reindex_off)
+    );
+
+    let out = arg_str("out").unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"trace\",\n  \"smoke\": {smoke},\n  \"files\": {files},\n  \"queries\": {queries},\n  \"reindex_passes\": {passes},\n  \"query_p50_traced_us\": {:.1},\n  \"query_p50_untraced_us\": {:.1},\n  \"query_overhead_pct\": {:.1},\n  \"reindex_p50_traced_us\": {:.1},\n  \"reindex_p50_untraced_us\": {:.1},\n  \"reindex_overhead_pct\": {:.1}\n}}\n",
+        us(query_on),
+        us(query_off),
+        overhead(query_on, query_off),
+        us(reindex_on),
+        us(reindex_off),
+        overhead(reindex_on, reindex_off),
+    );
+    std::fs::write(&out, json).expect("write BENCH_trace.json");
+    println!("\nsnapshot: {out}");
+    report_metrics_snapshot("trace");
+}

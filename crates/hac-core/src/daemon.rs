@@ -91,6 +91,12 @@ impl ReindexDaemon {
                 match stop_rx.recv_timeout(wait) {
                     Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        // Each pass is an operation root: the span mints a
+                        // fresh trace id, and everything ssync touches
+                        // (tokenize, resync, remote fetches) nests under it.
+                        // Held across the bookkeeping below so the
+                        // `reindex_pass_failed` event carries the trace too.
+                        let _pass_span = hac_obs::span!("reindex_daemon_pass");
                         let result = tick(&fs);
                         let mut status = thread_status.lock();
                         match result {

@@ -619,7 +619,11 @@ impl HacFs {
             (state.plan_sync(&self.vfs, path), threads)
         };
         let tokenize_start = std::time::Instant::now();
-        let docs = crate::state::tokenize_plan(&self.vfs, &self.registry, &plan, threads);
+        let docs = {
+            let _tok = hac_obs::current_trace()
+                .map(|_| hac_obs::span!("ssync_tokenize", files = plan.to_index.len()));
+            crate::state::tokenize_plan(&self.vfs, &self.registry, &plan, threads)
+        };
         hac_obs::gauge("hac_reindex_tokenize_threads", &[])
             .set(threads.clamp(1, plan.to_index.len().max(1)) as i64);
         hac_obs::histogram("hac_reindex_tokenize_duration_us", &[])
@@ -627,11 +631,14 @@ impl HacFs {
         let mut state = self.state.write();
         let (mut report, dirty) = state.apply_sync(&self.vfs, &plan, docs);
         report.links_repaired = state.repair_links(&self.vfs)?;
-        report.dirs_synced = if state.pending_scope_sync {
-            state.pending_scope_sync = false;
-            state.resync_all(&self.vfs, &self.registry)?
-        } else {
-            state.resync_dirty(&self.vfs, &self.registry, &dirty)?
+        report.dirs_synced = {
+            let _resync = hac_obs::current_trace().map(|_| hac_obs::span!("ssync_resync"));
+            if state.pending_scope_sync {
+                state.pending_scope_sync = false;
+                state.resync_all(&self.vfs, &self.registry)?
+            } else {
+                state.resync_dirty(&self.vfs, &self.registry, &dirty)?
+            }
         };
         span.field("added", report.added);
         span.field("removed", report.removed);

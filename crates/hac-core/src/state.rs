@@ -749,6 +749,9 @@ impl HacState {
         stats: &mut hac_index::EvalStats,
     ) -> Bitmap {
         let start = std::time::Instant::now();
+        // Child span only when an operation root is active: bare library
+        // calls stay span-free, traced commands see the eval nested.
+        let _span = hac_obs::current_trace().map(|_| hac_obs::span!("query_eval"));
         let result = self.eval_local_counted(vfs, registry, expr, universe, stats);
         hac_obs::counter("hac_query_evals_total", &[]).inc();
         hac_obs::histogram("hac_query_eval_duration_us", &[])
@@ -853,6 +856,7 @@ impl HacState {
             let Some(remote) = self.find_remote(ns) else {
                 continue;
             };
+            let _span = hac_obs::current_trace().map(|_| hac_obs::span!("remote_search", ns = ns));
             match remote.search(&projection) {
                 Ok(docs) => {
                     let filtered: HashMap<String, String> = docs
@@ -900,6 +904,8 @@ impl HacState {
             return Ok(false);
         };
         let dir_path = vfs.path_of(dir)?;
+        let _span =
+            hac_obs::current_trace().map(|_| hac_obs::span!("semdir_resync", dir = dir_path));
         hac_obs::counter("hac_semdir_reeval_total", &[("dir", &dir_path.to_string())]).inc();
         let parent_path = dir_path.parent().unwrap_or_else(VPath::root);
         let parent = vfs.resolve_nofollow(&parent_path)?;

@@ -355,6 +355,8 @@ impl Index {
     ) -> Bitmap {
         let before = *stats;
         let start = std::time::Instant::now();
+        // Only under an active trace: scope evaluation issues many of these.
+        let _span = hac_obs::current_trace().map(|_| hac_obs::span!("index_eval"));
         let result = self.eval_inner(expr, universe, provider, stats);
         hac_obs::counter("hac_index_evals_total", &[]).inc();
         hac_obs::histogram("hac_index_eval_duration_us", &[])

@@ -31,7 +31,8 @@ use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem, R
 use hac_index::ContentExpr;
 
 use crate::wire::{
-    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+    self, Request, RequestBody, Response, ResponseBody, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Tuning for a [`NetRemote`].
@@ -58,8 +59,16 @@ impl Default for ClientConfig {
     }
 }
 
+/// A pooled socket plus what the version handshake negotiated for it.
+struct PooledConn {
+    stream: TcpStream,
+    /// Whether the server speaks v2+ on this connection, i.e. whether
+    /// requests may carry trace context.
+    traced: bool,
+}
+
 struct PoolState {
-    idle: Vec<TcpStream>,
+    idle: Vec<PooledConn>,
     /// Sockets currently checked out or idle (never exceeds `max_connections`).
     total: usize,
     waiters: usize,
@@ -75,7 +84,7 @@ struct Pool {
 }
 
 enum Checkout {
-    Reuse(TcpStream),
+    Reuse(PooledConn),
     Dial,
 }
 
@@ -125,7 +134,7 @@ impl Pool {
         }
     }
 
-    fn put_back(&self, conn: TcpStream) {
+    fn put_back(&self, conn: PooledConn) {
         let mut state = self.state.lock().expect("pool poisoned");
         state.idle.push(conn);
         self.available.notify_one();
@@ -139,9 +148,9 @@ impl Pool {
         self.available.notify_one();
     }
 
-    fn drain(&self) -> VecDeque<TcpStream> {
+    fn drain(&self) -> VecDeque<PooledConn> {
         let mut state = self.state.lock().expect("pool poisoned");
-        let conns: VecDeque<TcpStream> = state.idle.drain(..).collect();
+        let conns: VecDeque<PooledConn> = state.idle.drain(..).collect();
         state.total = state.total.saturating_sub(conns.len());
         hac_obs::gauge("hac_net_pool_size", &self.labels()).set(state.total as i64);
         conns
@@ -222,18 +231,24 @@ impl NetRemote {
         }
     }
 
-    /// Round-trips a ping; returns the server's protocol version.
+    /// Round-trips a ping; returns the negotiated protocol version. A
+    /// server refusing our version is re-pinged once at the oldest version
+    /// we still speak, mirroring the dial handshake's downgrade.
     ///
     /// # Errors
     ///
     /// Transport failures map onto [`RemoteError`] like any request.
     pub fn ping(&self) -> Result<u16, RemoteError> {
-        match self.request(
-            "ping",
-            RequestBody::Ping {
-                version: PROTOCOL_VERSION,
-            },
-        )? {
+        match self.ping_version(PROTOCOL_VERSION) {
+            Err(RemoteError::Unavailable(msg)) if msg.contains("version mismatch") => {
+                self.ping_version(MIN_PROTOCOL_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    fn ping_version(&self, version: u16) -> Result<u16, RemoteError> {
+        match self.request("ping", RequestBody::Ping { version })? {
             ResponseBody::Pong { version } => Ok(version),
             other => Err(unexpected(other)),
         }
@@ -242,11 +257,30 @@ impl NetRemote {
     /// Closes every pooled socket (in-flight requests are unaffected).
     pub fn disconnect(&self) {
         for conn in self.pool.drain() {
-            let _ = conn.shutdown(Shutdown::Both);
+            let _ = conn.stream.shutdown(Shutdown::Both);
         }
     }
 
-    fn dial(&self) -> io::Result<TcpStream> {
+    /// Pings `conn` at `version`; `Ok(Some(v))` on a pong, `Ok(None)` when
+    /// the server refuses that version but might speak another.
+    fn handshake_ping(&self, conn: &TcpStream, version: u16) -> io::Result<Option<u16>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let resp = exchange(
+            conn,
+            &Request::new(id, RequestBody::Ping { version }),
+            wire::DEFAULT_MAX_FRAME_LEN,
+        )?;
+        match resp.body {
+            ResponseBody::Pong { version } => Ok(Some(version)),
+            ResponseBody::Err(WireError::VersionMismatch { .. }) => Ok(None),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "handshake: unexpected response to ping",
+            )),
+        }
+    }
+
+    fn dial(&self) -> io::Result<PooledConn> {
         use std::net::ToSocketAddrs;
         let mut last = io::Error::new(io::ErrorKind::NotFound, "no address resolved");
         for addr in self.addr.as_str().to_socket_addrs()? {
@@ -255,33 +289,31 @@ impl NetRemote {
                     conn.set_read_timeout(Some(self.config.retry.request_timeout))?;
                     conn.set_write_timeout(Some(self.config.retry.request_timeout))?;
                     conn.set_nodelay(true)?;
-                    // Version handshake before the socket joins the pool.
-                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                    let resp = exchange(
-                        &conn,
-                        &Request {
-                            id,
-                            body: RequestBody::Ping {
-                                version: PROTOCOL_VERSION,
-                            },
-                        },
-                        wire::DEFAULT_MAX_FRAME_LEN,
-                    )?;
-                    return match resp.body {
-                        ResponseBody::Pong { .. } => Ok(conn),
-                        ResponseBody::Err(WireError::VersionMismatch { server, client }) => {
-                            Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                format!(
-                                    "protocol version mismatch: server v{server}, client v{client}"
-                                ),
-                            ))
-                        }
-                        _ => Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "handshake: unexpected response to ping",
-                        )),
-                    };
+                    // Version handshake before the socket joins the pool:
+                    // offer our newest version, fall back to the oldest we
+                    // still speak. A v1 peer downgrades the *connection* —
+                    // requests on it stay in the v1 shape, untraced.
+                    if let Some(v) = self.handshake_ping(&conn, PROTOCOL_VERSION)? {
+                        return Ok(PooledConn {
+                            stream: conn,
+                            traced: v >= 2,
+                        });
+                    }
+                    if self.handshake_ping(&conn, MIN_PROTOCOL_VERSION)?.is_some() {
+                        hac_obs::counter("hac_net_trace_downgrades_total", &[("ns", &self.ns.0)])
+                            .inc();
+                        return Ok(PooledConn {
+                            stream: conn,
+                            traced: false,
+                        });
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "protocol version mismatch: server speaks neither \
+                             v{PROTOCOL_VERSION} nor v{MIN_PROTOCOL_VERSION}"
+                        ),
+                    ));
                 }
                 Err(e) => last = e,
             }
@@ -290,7 +322,14 @@ impl NetRemote {
     }
 
     /// One attempt: checkout/dial, send, receive, return socket to pool.
-    fn attempt(&self, body: &RequestBody) -> Result<ResponseBody, AttemptError> {
+    ///
+    /// The attempt runs under a `net_client_request` span, and on traced
+    /// connections that span's context rides inside the request so the
+    /// server's spans nest under it. A traced response reports how long
+    /// the server spent, letting us split the round trip into server time
+    /// (`hac_net_server_time_us`) and everything else — serialization,
+    /// kernel, and network (`hac_net_wire_overhead_us`).
+    fn attempt(&self, op: &'static str, body: &RequestBody) -> Result<ResponseBody, AttemptError> {
         let conn = match self.pool.checkout(self.config.pool_wait)? {
             Checkout::Reuse(conn) => conn,
             Checkout::Dial => match self.dial() {
@@ -301,18 +340,20 @@ impl NetRemote {
                 }
             },
         };
+        let mut span = hac_obs::span!("net_client_request", ns = self.ns.0, op = op);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let req = Request {
-            id,
-            body: body.clone(),
-        };
-        match exchange(&conn, &req, wire::DEFAULT_MAX_FRAME_LEN) {
+        let mut req = Request::new(id, body.clone());
+        if conn.traced {
+            req.trace = span.context().map(Into::into);
+        }
+        let start = Instant::now();
+        match exchange(&conn.stream, &req, wire::DEFAULT_MAX_FRAME_LEN) {
             Ok(resp) => {
                 if resp.id != id {
                     // Desynchronised stream (e.g. a previous timeout left a
                     // stale response buffered) — poison the socket.
                     self.pool.discard();
-                    let _ = conn.shutdown(Shutdown::Both);
+                    let _ = conn.stream.shutdown(Shutdown::Both);
                     return Err(AttemptError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "response id mismatch",
@@ -320,6 +361,14 @@ impl NetRemote {
                 }
                 hac_obs::counter("hac_net_client_bytes_read_total", &[("ns", &self.ns.0)])
                     .add(resp.wire_len as u64);
+                if let Some(server_us) = resp.server_elapsed_us {
+                    let total_us = start.elapsed().as_micros() as u64;
+                    let labels = [("ns", self.ns.0.as_str()), ("op", op)];
+                    hac_obs::histogram("hac_net_server_time_us", &labels).record(server_us);
+                    hac_obs::histogram("hac_net_wire_overhead_us", &labels)
+                        .record(total_us.saturating_sub(server_us));
+                    span.field("server_us", server_us);
+                }
                 self.pool.put_back(conn);
                 match resp.body {
                     ResponseBody::Err(e) => Err(AttemptError::Wire(e)),
@@ -328,7 +377,7 @@ impl NetRemote {
             }
             Err(e) => {
                 self.pool.discard();
-                let _ = conn.shutdown(Shutdown::Both);
+                let _ = conn.stream.shutdown(Shutdown::Both);
                 Err(AttemptError::Io(e))
             }
         }
@@ -341,7 +390,7 @@ impl NetRemote {
         let policy = &self.config.retry;
         let mut failures = 0u64;
         let result = loop {
-            match self.attempt(&body) {
+            match self.attempt(op, &body) {
                 Ok(ok) => break Ok(ok),
                 Err(e) => {
                     let (remote, retriable) = e.classify();
@@ -411,6 +460,7 @@ struct Received {
     id: u64,
     body: ResponseBody,
     wire_len: usize,
+    server_elapsed_us: Option<u64>,
 }
 
 fn exchange(mut conn: &TcpStream, req: &Request, max_len: u32) -> io::Result<Received> {
@@ -424,6 +474,7 @@ fn exchange(mut conn: &TcpStream, req: &Request, max_len: u32) -> io::Result<Rec
         id: resp.id,
         body: resp.body,
         wire_len: payload.len() + 8,
+        server_elapsed_us: resp.server_elapsed_us,
     })
 }
 

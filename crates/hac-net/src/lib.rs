@@ -36,4 +36,7 @@ pub mod wire;
 pub use chaos::{ChaosMode, ChaosProxy};
 pub use client::{ClientConfig, NetRemote};
 pub use server::{HacServer, ServerConfig};
-pub use wire::{Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    Request, RequestBody, Response, ResponseBody, TraceContext, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};

@@ -28,7 +28,8 @@ use std::time::{Duration, Instant};
 use hac_core::RemoteQuerySystem;
 
 use crate::wire::{
-    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+    self, Request, RequestBody, Response, ResponseBody, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Tuning for a [`HacServer`].
@@ -300,10 +301,10 @@ fn serve_turn(
         hac_obs::counter("hac_net_server_bytes_read_total", &[]).add(payload.len() as u64 + 8);
         let response = match wire::decode_request(&payload) {
             Ok(request) => dispatch(request, backends),
-            Err(_) => Response {
-                id: 0,
-                body: ResponseBody::Err(WireError::BadRequest("undecodable request".to_string())),
-            },
+            Err(_) => Response::new(
+                0,
+                ResponseBody::Err(WireError::BadRequest("undecodable request".to_string())),
+            ),
         };
         let bytes = wire::encode_response(&response);
         if wire::write_frame(&mut conn, &bytes).is_err() {
@@ -321,13 +322,19 @@ fn serve_turn(
 
 fn dispatch(request: Request, backends: &BTreeMap<String, Arc<dyn RemoteQuerySystem>>) -> Response {
     let op = request.body.op();
+    // Continue the client's trace on this worker thread: the context guard
+    // parents the server span (and everything the backend records) under
+    // the client-side request span. Declared before the span so the span
+    // drops (and records) while the context is still installed.
+    let _trace_guard = request.trace.map(|ctx| hac_obs::continue_trace(ctx.into()));
+    let _span = hac_obs::span!("net_server_request", op = op, id = request.id);
     let start = Instant::now();
     let body = match request.body {
         RequestBody::Ping { version } => {
-            if version == PROTOCOL_VERSION {
-                ResponseBody::Pong {
-                    version: PROTOCOL_VERSION,
-                }
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+                // Reply with the peer's (older-or-equal) version so both
+                // sides settle on the shapes it understands.
+                ResponseBody::Pong { version }
             } else {
                 ResponseBody::Err(WireError::VersionMismatch {
                     server: PROTOCOL_VERSION,
@@ -354,16 +361,19 @@ fn dispatch(request: Request, backends: &BTreeMap<String, Arc<dyn RemoteQuerySys
             },
         },
     };
+    let elapsed = start.elapsed().as_micros() as u64;
     let labels = [("op", op)];
     hac_obs::counter("hac_net_server_requests_total", &labels).inc();
-    hac_obs::histogram("hac_net_server_request_duration_us", &labels)
-        .record(start.elapsed().as_micros() as u64);
+    hac_obs::histogram("hac_net_server_request_duration_us", &labels).record(elapsed);
     if matches!(body, ResponseBody::Err(_)) {
         hac_obs::counter("hac_net_server_errors_total", &labels).inc();
     }
     Response {
         id: request.id,
         body,
+        // Timing rides back only on traced (v2-shaped) requests, keeping
+        // responses to v1 peers in the v1 frame shape.
+        server_elapsed_us: request.trace.is_some().then_some(elapsed),
     }
 }
 
@@ -417,6 +427,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 7,
+                trace: None,
                 body: RequestBody::Ping {
                     version: PROTOCOL_VERSION,
                 },
@@ -434,6 +445,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 8,
+                trace: None,
                 body: RequestBody::Capabilities,
             },
         );
@@ -449,6 +461,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 9,
+                trace: None,
                 body: RequestBody::Search {
                     ns: "fixed".into(),
                     query: ContentExpr::All,
@@ -461,6 +474,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 10,
+                trace: None,
                 body: RequestBody::Fetch {
                     ns: "fixed".into(),
                     doc: "nope".into(),
@@ -476,6 +490,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 11,
+                trace: None,
                 body: RequestBody::Search {
                     ns: "zzz".into(),
                     query: ContentExpr::All,
@@ -504,6 +519,7 @@ mod tests {
         for id in [100u64, 101, 102] {
             let bytes = wire::encode_request(&Request {
                 id,
+                trace: None,
                 body: RequestBody::Capabilities,
             });
             wire::write_frame(&mut conn, &bytes).unwrap();
@@ -530,6 +546,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 1,
+                trace: None,
                 body: RequestBody::Ping { version: 999 },
             },
         );
@@ -575,6 +592,7 @@ mod tests {
             &mut conn,
             &Request {
                 id: 2,
+                trace: None,
                 body: RequestBody::Ping {
                     version: PROTOCOL_VERSION,
                 },
@@ -602,6 +620,7 @@ mod tests {
                     .unwrap();
                 let bytes = wire::encode_request(&Request {
                     id: 1,
+                    trace: None,
                     body: RequestBody::Capabilities,
                 });
                 let _ = wire::write_frame(&mut conn, &bytes);

@@ -17,8 +17,21 @@
 //! and match answers out of band.
 //!
 //! Versioning: the protocol version rides in the `ping` handshake (and in
-//! `capabilities`); a server refuses mismatched pings with
-//! [`WireError::VersionMismatch`] rather than guessing at frame shapes.
+//! `capabilities`); a server refuses pings outside its supported range
+//! with [`WireError::VersionMismatch`] rather than guessing at frame
+//! shapes, and replies to an in-range older ping with that older version
+//! so the peer knows to speak the downgraded shape.
+//!
+//! ## Protocol evolution (v1 → v2)
+//!
+//! v2 adds `trace` to [`Request`] and `server_elapsed_us` to [`Response`].
+//! The codec ([`hac_vfs::persist`]) enforces strict struct arity, so the
+//! new fields are *capability-gated* rather than silently defaulted: a
+//! message without them encodes in the exact v1 two-field shape
+//! (bit-for-bit what a v1 peer emits), and decoding tries the v2 shape
+//! first, then falls back to v1. A client only attaches trace context on
+//! connections whose handshake negotiated v2, so v1 peers never see a
+//! three-field frame.
 
 use std::io::{self, Read, Write};
 
@@ -29,7 +42,11 @@ use hac_index::ContentExpr;
 
 /// Version of the frame payload encoding. Bump on any incompatible change
 /// to [`Request`]/[`Response`].
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still speaks (v1 peers interoperate
+/// with tracing disabled).
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Magic bytes opening every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"HACN";
@@ -38,6 +55,36 @@ pub const FRAME_MAGIC: [u8; 4] = *b"HACN";
 /// or hostile length prefix allocating gigabytes).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
+/// Trace context propagated across the wire (v2+), linking the server's
+/// spans into the client's trace. Mirrors [`hac_obs::TraceContext`];
+/// duplicated here so the wire shape is owned by the protocol, not the
+/// observability crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The client operation's trace id.
+    pub trace_id: u64,
+    /// The client-side span issuing this request (parent of server spans).
+    pub span_id: u64,
+}
+
+impl From<hac_obs::TraceContext> for TraceContext {
+    fn from(c: hac_obs::TraceContext) -> Self {
+        TraceContext {
+            trace_id: c.trace_id,
+            span_id: c.span_id,
+        }
+    }
+}
+
+impl From<TraceContext> for hac_obs::TraceContext {
+    fn from(c: TraceContext) -> Self {
+        hac_obs::TraceContext {
+            trace_id: c.trace_id,
+            span_id: c.span_id,
+        }
+    }
+}
+
 /// One client→server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -45,6 +92,20 @@ pub struct Request {
     pub id: u64,
     /// The operation.
     pub body: RequestBody,
+    /// Trace context to continue server-side (v2+; `None` encodes in the
+    /// v1 frame shape).
+    pub trace: Option<TraceContext>,
+}
+
+impl Request {
+    /// An untraced request (the v1-compatible shape).
+    pub fn new(id: u64, body: RequestBody) -> Self {
+        Request {
+            id,
+            body,
+            trace: None,
+        }
+    }
 }
 
 /// Operations a client may request.
@@ -92,6 +153,21 @@ pub struct Response {
     pub id: u64,
     /// The outcome.
     pub body: ResponseBody,
+    /// Server-side handling time in microseconds, returned for traced
+    /// requests so the client can split wire overhead from server time
+    /// (v2+; `None` encodes in the v1 frame shape).
+    pub server_elapsed_us: Option<u64>,
+}
+
+impl Response {
+    /// An untimed response (the v1-compatible shape).
+    pub fn new(id: u64, body: ResponseBody) -> Self {
+        Response {
+            id,
+            body,
+            server_elapsed_us: None,
+        }
+    }
 }
 
 /// Outcomes a server may return.
@@ -231,32 +307,78 @@ fn invalid(kind: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("undecodable {kind}"))
 }
 
-/// Encodes a request payload.
+// The codec's strict struct arity makes wire evolution explicit: the
+// legacy two-field shapes below are what v1 peers read and write (tuples
+// and structs encode identically), and the v2 structs carry the new
+// optional third field. Encoding picks the oldest shape that loses
+// nothing; decoding tries newest first.
+
+#[derive(Serialize, Deserialize)]
+struct RequestV1 {
+    id: u64,
+    body: RequestBody,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ResponseV1 {
+    id: u64,
+    body: ResponseBody,
+}
+
+/// Encodes a request payload. Untraced requests encode in the v1 frame
+/// shape, bit-for-bit what a v1 client emits.
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    hac_vfs::persist::encode_value(req).unwrap_or_default()
+    let encoded = if req.trace.is_some() {
+        hac_vfs::persist::encode_value(req)
+    } else {
+        hac_vfs::persist::encode_value(&RequestV1 {
+            id: req.id,
+            body: req.body.clone(),
+        })
+    };
+    encoded.unwrap_or_default()
 }
 
-/// Decodes a request payload.
+/// Decodes a request payload, accepting both the v2 (traced) and v1
+/// frame shapes.
 ///
 /// # Errors
 ///
-/// `InvalidData` when the bytes are not a valid request.
+/// `InvalidData` when the bytes are not a valid request in any shape.
 pub fn decode_request(bytes: &[u8]) -> io::Result<Request> {
-    hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("request"))
+    if let Ok(req) = hac_vfs::persist::decode_value::<Request>(bytes) {
+        return Ok(req);
+    }
+    let v1: RequestV1 = hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("request"))?;
+    Ok(Request::new(v1.id, v1.body))
 }
 
-/// Encodes a response payload.
+/// Encodes a response payload. Responses without server timing encode in
+/// the v1 frame shape, bit-for-bit what a v1 server emits.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    hac_vfs::persist::encode_value(resp).unwrap_or_default()
+    let encoded = if resp.server_elapsed_us.is_some() {
+        hac_vfs::persist::encode_value(resp)
+    } else {
+        hac_vfs::persist::encode_value(&ResponseV1 {
+            id: resp.id,
+            body: resp.body.clone(),
+        })
+    };
+    encoded.unwrap_or_default()
 }
 
-/// Decodes a response payload.
+/// Decodes a response payload, accepting both the v2 (timed) and v1
+/// frame shapes.
 ///
 /// # Errors
 ///
-/// `InvalidData` when the bytes are not a valid response.
+/// `InvalidData` when the bytes are not a valid response in any shape.
 pub fn decode_response(bytes: &[u8]) -> io::Result<Response> {
-    hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("response"))
+    if let Ok(resp) = hac_vfs::persist::decode_value::<Response>(bytes) {
+        return Ok(resp);
+    }
+    let v1: ResponseV1 = hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("response"))?;
+    Ok(Response::new(v1.id, v1.body))
 }
 
 #[cfg(test)]
@@ -279,16 +401,19 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_req(Request {
             id: 1,
+            trace: None,
             body: RequestBody::Ping {
                 version: PROTOCOL_VERSION,
             },
         });
         roundtrip_req(Request {
             id: 2,
+            trace: None,
             body: RequestBody::Capabilities,
         });
         roundtrip_req(Request {
             id: u64::MAX,
+            trace: None,
             body: RequestBody::Search {
                 ns: "web".into(),
                 query: ContentExpr::and_not(
@@ -299,6 +424,7 @@ mod tests {
         });
         roundtrip_req(Request {
             id: 3,
+            trace: None,
             body: RequestBody::Fetch {
                 ns: "lib".into(),
                 doc: "/pub/a.txt".into(),
@@ -310,12 +436,14 @@ mod tests {
     fn responses_roundtrip() {
         roundtrip_resp(Response {
             id: 9,
+            server_elapsed_us: None,
             body: ResponseBody::Pong {
                 version: PROTOCOL_VERSION,
             },
         });
         roundtrip_resp(Response {
             id: 10,
+            server_elapsed_us: None,
             body: ResponseBody::Capabilities {
                 version: 1,
                 namespaces: vec!["a".into(), "b".into()],
@@ -323,6 +451,7 @@ mod tests {
         });
         roundtrip_resp(Response {
             id: 11,
+            server_elapsed_us: None,
             body: ResponseBody::Docs(vec![RemoteDoc {
                 id: "u1".into(),
                 title: "T".into(),
@@ -330,6 +459,7 @@ mod tests {
         });
         roundtrip_resp(Response {
             id: 12,
+            server_elapsed_us: None,
             body: ResponseBody::Blob(vec![0, 1, 2, 255]),
         });
         for err in [
@@ -344,15 +474,64 @@ mod tests {
         ] {
             roundtrip_resp(Response {
                 id: 13,
+                server_elapsed_us: None,
                 body: ResponseBody::Err(err),
             });
         }
     }
 
     #[test]
+    fn untraced_messages_encode_in_the_v1_shape() {
+        // What a v1 peer writes: a two-field struct. Tuples and structs
+        // share an encoding, so a tuple stands in for the old struct.
+        let body = RequestBody::Search {
+            ns: "web".into(),
+            query: ContentExpr::term("x"),
+        };
+        let v1_bytes = hac_vfs::persist::encode_value(&(7u64, body.clone())).unwrap();
+        assert_eq!(
+            encode_request(&Request::new(7, body.clone())),
+            v1_bytes,
+            "untraced request must be bit-for-bit v1"
+        );
+        // And v1 bytes decode on a v2 peer, trace-less.
+        let decoded = decode_request(&v1_bytes).unwrap();
+        assert_eq!(decoded, Request::new(7, body));
+
+        let rbody = ResponseBody::Blob(vec![1, 2, 3]);
+        let v1_bytes = hac_vfs::persist::encode_value(&(9u64, rbody.clone())).unwrap();
+        assert_eq!(encode_response(&Response::new(9, rbody.clone())), v1_bytes);
+        let decoded = decode_response(&v1_bytes).unwrap();
+        assert_eq!(decoded, Response::new(9, rbody));
+    }
+
+    #[test]
+    fn traced_messages_roundtrip_with_context_and_timing() {
+        let req = Request {
+            id: 4,
+            body: RequestBody::Capabilities,
+            trace: Some(TraceContext {
+                trace_id: 0xdead_beef,
+                span_id: 0x1234,
+            }),
+        };
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+
+        let resp = Response {
+            id: 4,
+            body: ResponseBody::Pong { version: 2 },
+            server_elapsed_us: Some(417),
+        };
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
     fn frames_roundtrip_over_a_buffer() {
         let payload = encode_request(&Request {
             id: 42,
+            trace: None,
             body: RequestBody::Capabilities,
         });
         let mut buf = Vec::new();
@@ -380,6 +559,7 @@ mod tests {
     fn truncated_frames_are_eof_not_panic() {
         let payload = encode_response(&Response {
             id: 1,
+            server_elapsed_us: None,
             body: ResponseBody::Blob(vec![7; 64]),
         });
         let mut buf = Vec::new();
@@ -395,6 +575,7 @@ mod tests {
     fn garbled_payload_decodes_to_error_not_panic() {
         let payload = encode_response(&Response {
             id: 5,
+            server_elapsed_us: None,
             body: ResponseBody::Docs(vec![RemoteDoc {
                 id: "a".into(),
                 title: "b".into(),

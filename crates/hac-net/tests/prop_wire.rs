@@ -7,8 +7,14 @@ use proptest::prelude::*;
 use hac_core::remote::{RemoteDoc, RemoteError};
 use hac_index::ContentExpr;
 use hac_net::wire::{
-    self, Request, RequestBody, Response, ResponseBody, WireError, PROTOCOL_VERSION,
+    self, Request, RequestBody, Response, ResponseBody, TraceContext, WireError,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+
+fn trace_strategy() -> impl Strategy<Value = Option<TraceContext>> {
+    (any::<bool>(), any::<u64>(), any::<u64>())
+        .prop_map(|(some, trace_id, span_id)| some.then_some(TraceContext { trace_id, span_id }))
+}
 
 fn expr_strategy() -> impl Strategy<Value = ContentExpr> {
     let leaf = prop_oneof![
@@ -83,8 +89,9 @@ proptest! {
     fn requests_roundtrip_through_frames(
         id in any::<u64>(),
         body in request_strategy(),
+        trace in trace_strategy(),
     ) {
-        let req = Request { id, body };
+        let req = Request { id, body, trace };
         let payload = wire::encode_request(&req);
         let mut framed = Vec::new();
         wire::write_frame(&mut framed, &payload).unwrap();
@@ -99,8 +106,10 @@ proptest! {
     fn responses_roundtrip_through_frames(
         id in any::<u64>(),
         body in response_strategy(),
+        timed in any::<bool>(),
+        elapsed in any::<u64>(),
     ) {
-        let resp = Response { id, body };
+        let resp = Response { id, body, server_elapsed_us: timed.then_some(elapsed) };
         let payload = wire::encode_response(&resp);
         let mut framed = Vec::new();
         wire::write_frame(&mut framed, &payload).unwrap();
@@ -115,7 +124,7 @@ proptest! {
         body in request_strategy(),
         cut in any::<usize>(),
     ) {
-        let req = Request { id: 1, body };
+        let req = Request::new(1, body);
         let payload = wire::encode_request(&req);
         let mut framed = Vec::new();
         wire::write_frame(&mut framed, &payload).unwrap();
@@ -130,7 +139,7 @@ proptest! {
         flip_at in any::<usize>(),
         xor in 1u8..255,
     ) {
-        let req = Request { id: 9, body };
+        let req = Request::new(9, body);
         let mut payload = wire::encode_request(&req);
         let at = flip_at % payload.len().max(1);
         if let Some(b) = payload.get_mut(at) {
@@ -145,5 +154,6 @@ proptest! {
 fn version_constant_is_stable() {
     // Bumping the protocol version is a compatibility event; this test
     // makes it a conscious one.
-    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(PROTOCOL_VERSION, 2);
+    assert_eq!(MIN_PROTOCOL_VERSION, 1);
 }

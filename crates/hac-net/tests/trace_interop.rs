@@ -1,0 +1,227 @@
+//! Protocol interop: a v2 (traced) peer and a v1 peer must interoperate
+//! with tracing silently disabled, in both directions.
+//!
+//! * A traced `NetRemote` dialing a v1-only server downgrades the
+//!   connection and keeps every request in the strict v1 frame shape —
+//!   the fake server decodes with no fallback, so a single traced frame
+//!   would fail the test.
+//! * A raw v1 client talking to a current `HacServer` receives responses
+//!   in the strict v1 shape (no `server_elapsed_us` field on the wire).
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use hac_core::{RemoteDoc, RemoteQuerySystem};
+use hac_index::ContentExpr;
+use hac_net::wire::{self, DEFAULT_MAX_FRAME_LEN};
+use hac_net::{
+    ClientConfig, HacServer, NetRemote, RequestBody, ResponseBody, ServerConfig, WireError,
+};
+use hac_remote::WebSearchSim;
+
+/// The exact two-field shapes a v1 peer reads and writes. Decoding is
+/// strict (no fallback): receiving a v2 three-field frame is an error,
+/// exactly as it would be for a real v1 binary.
+#[derive(Serialize, Deserialize)]
+struct V1Request {
+    id: u64,
+    body: RequestBody,
+}
+
+#[derive(Serialize, Deserialize)]
+struct V1Response {
+    id: u64,
+    body: ResponseBody,
+}
+
+fn fast_retry() -> ClientConfig {
+    let mut config = ClientConfig::default();
+    config.retry.max_attempts = 2;
+    config.retry.base_delay = Duration::from_millis(2);
+    config.retry.request_timeout = Duration::from_secs(2);
+    config
+}
+
+/// A single-threaded v1-only server: refuses any Ping above version 1,
+/// answers canned Search/Fetch results, and counts frames it could not
+/// decode in the strict v1 shape.
+struct V1Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    undecodable: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl V1Server {
+    fn spawn() -> V1Server {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let undecodable = Arc::new(AtomicU64::new(0));
+        let (t_stop, t_undec) = (Arc::clone(&stop), Arc::clone(&undecodable));
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if t_stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let Ok(mut stream) = stream else { continue };
+                loop {
+                    let Ok(bytes) = wire::read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) else {
+                        break;
+                    };
+                    let req: V1Request = match hac_vfs::persist::decode_value(&bytes) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            t_undec.fetch_add(1, Ordering::Relaxed);
+                            let resp = V1Response {
+                                id: 0,
+                                body: ResponseBody::Err(WireError::BadRequest(
+                                    "not a v1 frame".into(),
+                                )),
+                            };
+                            let payload = hac_vfs::persist::encode_value(&resp).unwrap();
+                            let _ = wire::write_frame(&mut stream, &payload);
+                            continue;
+                        }
+                    };
+                    let body = match req.body {
+                        RequestBody::Ping { version: 1 } => ResponseBody::Pong { version: 1 },
+                        RequestBody::Ping { version } => {
+                            ResponseBody::Err(WireError::VersionMismatch {
+                                server: 1,
+                                client: version,
+                            })
+                        }
+                        RequestBody::Capabilities => ResponseBody::Capabilities {
+                            version: 1,
+                            namespaces: vec!["legacy".to_string()],
+                        },
+                        RequestBody::Search { .. } => ResponseBody::Docs(vec![RemoteDoc {
+                            id: "d1".to_string(),
+                            title: "Legacy Doc".to_string(),
+                        }]),
+                        RequestBody::Fetch { .. } => ResponseBody::Blob(b"legacy bytes".to_vec()),
+                    };
+                    let resp = V1Response { id: req.id, body };
+                    let payload = hac_vfs::persist::encode_value(&resp).unwrap();
+                    if wire::write_frame(&mut stream, &payload).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        V1Server {
+            addr,
+            stop,
+            undecodable,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr); // unblock accept
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.undecodable.load(Ordering::Relaxed)
+    }
+}
+
+#[test]
+fn traced_client_downgrades_against_a_v1_server() {
+    let server = V1Server::spawn();
+    let client = NetRemote::connect("legacy", &server.addr.to_string(), fast_retry());
+
+    // Run every request under an operation root, so the client *would*
+    // attach trace context if the connection had negotiated v2.
+    let _root = hac_obs::span!("interop_root");
+    assert!(
+        hac_obs::current_trace().is_some(),
+        "test must run with an active trace"
+    );
+
+    assert_eq!(client.ping().unwrap(), 1, "ping settles on the v1 version");
+    let docs = client.search(&ContentExpr::term("anything")).unwrap();
+    assert_eq!(docs.len(), 1);
+    assert_eq!(docs[0].title, "Legacy Doc");
+    let blob = client.fetch("d1").unwrap();
+    assert_eq!(blob, b"legacy bytes");
+
+    let downgrades = hac_obs::snapshot()
+        .counter_value("hac_net_trace_downgrades_total", &[("ns", "legacy")])
+        .unwrap_or(0);
+    assert!(
+        downgrades >= 1,
+        "the v1 downgrade must be counted (got {downgrades})"
+    );
+
+    // Close the pooled sockets first: the single-threaded fake server sits
+    // in a blocking read on the idle connection until the client hangs up.
+    drop(client);
+    let undecodable = server.stop();
+    assert_eq!(
+        undecodable, 0,
+        "a downgraded client must never emit a traced (v2-shaped) frame"
+    );
+}
+
+#[test]
+fn v1_client_talks_to_a_current_server_in_v1_shapes() {
+    let backend = Arc::new(WebSearchSim::new("legacy-ns"));
+    backend.publish("w1", "Interop Page", b"interop vocabulary sample");
+    let server = HacServer::serve("127.0.0.1:0", vec![backend], ServerConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut rpc = |body: RequestBody, id: u64| -> V1Response {
+        let req = V1Request { id, body };
+        let payload = hac_vfs::persist::encode_value(&req).unwrap();
+        wire::write_frame(&mut stream, &payload).unwrap();
+        let bytes = wire::read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).unwrap();
+        // Strict v1 decode: succeeds only if the server answered an
+        // untraced request without the v2-only timing field.
+        hac_vfs::persist::decode_value(&bytes).expect("response must be v1-shaped")
+    };
+
+    let pong = rpc(RequestBody::Ping { version: 1 }, 1);
+    assert_eq!(pong.id, 1);
+    assert!(
+        matches!(pong.body, ResponseBody::Pong { version: 1 }),
+        "server must accept a v1 handshake and answer at v1: {:?}",
+        pong.body
+    );
+
+    let found = rpc(
+        RequestBody::Search {
+            ns: "legacy-ns".to_string(),
+            query: ContentExpr::term("vocabulary"),
+        },
+        2,
+    );
+    assert_eq!(found.id, 2);
+    match found.body {
+        ResponseBody::Docs(docs) => {
+            assert_eq!(docs.len(), 1);
+            assert_eq!(docs[0].id, "w1");
+        }
+        other => panic!("expected docs, got {other:?}"),
+    }
+
+    let blob = rpc(
+        RequestBody::Fetch {
+            ns: "legacy-ns".to_string(),
+            doc: "w1".to_string(),
+        },
+        3,
+    );
+    match blob.body {
+        ResponseBody::Blob(bytes) => assert_eq!(bytes, b"interop vocabulary sample"),
+        other => panic!("expected blob, got {other:?}"),
+    }
+
+    server.shutdown();
+}

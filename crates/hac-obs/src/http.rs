@@ -1,0 +1,338 @@
+//! Embedded pull-based observability endpoint.
+//!
+//! [`ObsServer`] is a deliberately tiny HTTP/1.1 server — std `TcpListener`,
+//! an accept thread feeding a bounded queue, and a fixed worker pool (the
+//! same shape as the `hac-net` request server) — that exposes the global
+//! [`Obs`](crate::Obs) domain for scrapers and humans:
+//!
+//! | endpoint        | payload                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (with `# TYPE` lines)   |
+//! | `/healthz`      | `ok` once the listener is up                       |
+//! | `/statusz`      | caller-supplied status JSON (daemon/server/mounts) |
+//! | `/events`       | recent-events ring as a JSON array                 |
+//! | `/slow`         | slow-op log as a JSON array                        |
+//! | `/trace/<id>`   | assembled span tree for one trace id, JSON         |
+//!
+//! Only `GET` is served; every response closes the connection. No
+//! external dependencies, no TLS, no routing table — this binds to
+//! loopback (or an operator-chosen address) next to a `hacsh` process.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::trace;
+
+/// Worker threads serving scrape requests.
+const HTTP_WORKERS: usize = 2;
+/// Accepted connections waiting for a worker.
+const HTTP_QUEUE_DEPTH: usize = 32;
+/// Read cap for the request head (we never need bodies).
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Caller-supplied `/statusz` payload producer (must return JSON).
+pub type StatusFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+struct HttpQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl HttpQueue {
+    fn push(&self, stream: TcpStream) {
+        let mut conns = self.conns.lock().unwrap();
+        if conns.len() >= HTTP_QUEUE_DEPTH {
+            // Scrapers retry; shedding beats unbounded growth.
+            drop(stream);
+            crate::counter("hac_obs_http_shed_total", &[]).inc();
+            return;
+        }
+        conns.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut conns = self.conns.lock().unwrap();
+        loop {
+            if let Some(stream) = conns.pop_front() {
+                return Some(stream);
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            conns = self.ready.wait(conns).unwrap();
+        }
+    }
+}
+
+/// Handle to a running observability HTTP server; shuts down on
+/// [`shutdown`](Self::shutdown) or drop.
+pub struct ObsServer {
+    local_addr: SocketAddr,
+    queue: Arc<HttpQueue>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving the global
+    /// observability domain. `status` produces the `/statusz` JSON body.
+    pub fn serve(addr: &str, status: StatusFn) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(HttpQueue {
+            conns: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::with_capacity(HTTP_WORKERS + 1);
+        for _ in 0..HTTP_WORKERS {
+            let queue = Arc::clone(&queue);
+            let status = Arc::clone(&status);
+            threads.push(std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    let _ = serve_connection(stream, &status);
+                }
+            }));
+        }
+        {
+            let queue = Arc::clone(&queue);
+            threads.push(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if queue.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => queue.push(stream),
+                        Err(_) => continue,
+                    }
+                }
+            }));
+        }
+        Ok(ObsServer {
+            local_addr,
+            queue,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.queue.shutdown.store(true, Ordering::Relaxed);
+        self.queue.ready.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, status: &StatusFn) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the blank line ending the request head; we ignore bodies.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_HEAD {
+            return respond(&mut stream, 400, "text/plain", "request too large\n");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let endpoint = normalize_endpoint(path);
+    crate::counter("hac_obs_http_requests_total", &[("endpoint", endpoint)]).inc();
+    match endpoint {
+        "metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &crate::prometheus(),
+        ),
+        "healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "statusz" => respond(&mut stream, 200, "application/json", &status()),
+        "events" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &events_json(&crate::recent_events()),
+        ),
+        "slow" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &events_json(&crate::slow_ops()),
+        ),
+        "trace" => match trace::parse_id(path.trim_start_matches("/trace/")) {
+            Some(id) => {
+                // A span can sit in either (or both) rings; assembly dedups.
+                let mut events = crate::recent_events();
+                events.extend(crate::slow_ops());
+                let tree = trace::assemble(&events, id);
+                if tree.roots.is_empty() {
+                    respond(&mut stream, 404, "text/plain", "unknown trace id\n")
+                } else {
+                    respond(&mut stream, 200, "application/json", &tree.to_json())
+                }
+            }
+            None => respond(&mut stream, 400, "text/plain", "bad trace id\n"),
+        },
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn normalize_endpoint(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/statusz" => "statusz",
+        "/events" => "events",
+        "/slow" => "slow",
+        p if p.starts_with("/trace/") => "trace",
+        _ => "other",
+    }
+}
+
+fn events_json(events: &[crate::Event]) -> String {
+    let items: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let code: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_metrics_health_status_events_and_traces() {
+        crate::counter("t_http_seen_total", &[]).inc();
+        let trace_id;
+        {
+            let root = crate::global().span("t_http_root", vec![]);
+            trace_id = root.context().unwrap().trace_id;
+            drop(crate::global().span("t_http_child", vec![]));
+        }
+        let status: StatusFn = Arc::new(|| "{\"state\":\"testing\"}".to_string());
+        let mut server = ObsServer::serve("127.0.0.1:0", status).unwrap();
+        let addr = server.local_addr();
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("t_http_seen_total 1"), "{body}");
+        assert!(body.contains("# TYPE t_http_seen_total counter"));
+
+        let (code, body) = get(addr, "/statusz");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"state\":\"testing\"}");
+
+        let (code, body) = get(addr, "/events");
+        assert_eq!(code, 200);
+        assert!(body.starts_with('[') && body.ends_with(']'));
+        assert!(body.contains("\"name\":\"t_http_root\""), "{body}");
+
+        let (code, _) = get(addr, "/slow");
+        assert_eq!(code, 200);
+
+        let (code, body) = get(addr, &format!("/trace/{}", trace::format_id(trace_id)));
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"name\":\"t_http_root\""), "{body}");
+        assert!(body.contains("\"name\":\"t_http_child\""), "{body}");
+
+        let (code, _) = get(addr, "/trace/ffffffffffffffff");
+        assert_eq!(code, 404, "unknown trace id");
+        let (code, _) = get(addr, "/trace/zz");
+        assert_eq!(code, 400, "malformed trace id");
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let status: StatusFn = Arc::new(String::new);
+        let server = ObsServer::serve("127.0.0.1:0", status).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -16,16 +16,23 @@
 //! [`Registry`] values to avoid cross-test interference.
 
 pub mod events;
+pub mod http;
 pub mod metrics;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 pub use events::{Event, EventRing, SpanGuard};
+pub use http::ObsServer;
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSample, MetricId,
     Registry, Sample, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    assemble, continue_trace, current as current_trace, set_tracing_enabled, tracing_enabled,
+    ContextGuard, SpanNode, TraceContext, TraceTree,
 };
 
 /// Default capacity of the recent-events ring.
@@ -54,10 +61,15 @@ impl Default for Obs {
 impl Obs {
     /// Creates an empty domain with default ring capacities and threshold.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        // Register the overflow counters eagerly so they appear (at 0) in
+        // every snapshot, not only after the first drop.
+        let events_dropped = registry.counter("hac_events_dropped_total", &[("ring", "events")]);
+        let slow_dropped = registry.counter("hac_events_dropped_total", &[("ring", "slow")]);
         Obs {
-            registry: Registry::new(),
-            events: EventRing::new(DEFAULT_EVENT_CAPACITY),
-            slow_ops: EventRing::new(DEFAULT_SLOW_OP_CAPACITY),
+            registry,
+            events: EventRing::with_drop_counter(DEFAULT_EVENT_CAPACITY, events_dropped),
+            slow_ops: EventRing::with_drop_counter(DEFAULT_SLOW_OP_CAPACITY, slow_dropped),
             slow_op_threshold_us: AtomicU64::new(DEFAULT_SLOW_OP_THRESHOLD_US),
             epoch: Instant::now(),
         }
@@ -98,13 +110,19 @@ impl Obs {
         SpanGuard::enter(self, name, fields)
     }
 
-    /// Records an instant (duration-less) event.
+    /// Records an instant (duration-less) event. When the thread carries a
+    /// trace context the event joins that trace as a child of the current
+    /// span.
     pub fn event(&self, name: &str, fields: Vec<(String, String)>) {
+        let ctx = trace::current();
         self.events.push(Event {
             name: name.to_string(),
             fields,
             at_micros: self.uptime_micros(),
             duration_micros: None,
+            trace_id: ctx.map(|c| c.trace_id),
+            span_id: None,
+            parent_span_id: ctx.map(|c| c.span_id),
         });
     }
 }
@@ -224,21 +242,55 @@ mod tests {
         assert_eq!(b[4], 1); // 9 ∈ (8, 16]
     }
 
+    fn instant(name: &str, at: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            fields: vec![],
+            at_micros: at,
+            duration_micros: None,
+            trace_id: None,
+            span_id: None,
+            parent_span_id: None,
+        }
+    }
+
     #[test]
-    fn event_ring_drops_oldest_first() {
-        let ring = EventRing::new(3);
+    fn event_ring_drops_oldest_first_and_counts_drops() {
+        let reg = Registry::new();
+        let dropped = reg.counter("t_dropped_total", &[("ring", "events")]);
+        let ring = EventRing::with_drop_counter(3, dropped.clone());
         for i in 0..5 {
-            ring.push(Event {
-                name: format!("e{i}"),
-                fields: vec![],
-                at_micros: i,
-                duration_micros: None,
-            });
+            ring.push(instant(&format!("e{i}"), i));
         }
         let events = ring.snapshot();
         assert_eq!(events.len(), 3);
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["e2", "e3", "e4"]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(dropped.get(), 2);
+    }
+
+    #[test]
+    fn obs_surfaces_drop_counters_in_snapshot() {
+        let obs = Obs::new();
+        let snap = obs.registry().snapshot();
+        // Registered eagerly: present at zero before any overflow.
+        assert_eq!(
+            snap.counter_value("hac_events_dropped_total", &[("ring", "events")]),
+            Some(0)
+        );
+        assert_eq!(
+            snap.counter_value("hac_events_dropped_total", &[("ring", "slow")]),
+            Some(0)
+        );
+        for i in 0..(DEFAULT_EVENT_CAPACITY as u64 + 7) {
+            obs.event("flood", vec![("i".into(), i.to_string())]);
+        }
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counter_value("hac_events_dropped_total", &[("ring", "events")]),
+            Some(7)
+        );
     }
 
     #[test]
@@ -288,9 +340,35 @@ mod tests {
         assert!(text.contains("t_lat_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("t_lat_us_sum 6"));
         assert!(text.contains("t_lat_us_count 2"));
-        // Every line parses as `name{labels} value`.
-        for line in text.lines() {
+        // One TYPE line per metric name, preceding its samples.
+        assert!(text.contains("# TYPE t_reqs_total counter"));
+        assert!(text.contains("# TYPE t_depth gauge"));
+        assert!(text.contains("# TYPE t_lat_us histogram"));
+        assert_eq!(text.matches("# TYPE t_lat_us histogram").count(), 1);
+        // Every sample line parses as `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (id, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(value.parse::<i64>().is_ok(), "bad value in {line:?}");
+            assert!(!id.is_empty());
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_pathological_label_values() {
+        let reg = Registry::new();
+        // A semdir path an adversarial user could create: backslashes,
+        // quotes, and an embedded newline.
+        let path = "/sem/a\\b\"c\nd";
+        reg.counter("t_semdir_total", &[("dir", path)]).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(
+            text.contains("t_semdir_total{dir=\"/sem/a\\\\b\\\"c\\nd\"} 1"),
+            "escaped label missing in {text:?}"
+        );
+        // No raw newline may survive inside a sample line.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.rsplit_once(' ').is_some(), "split line: {line:?}");
+            let (id, value) = line.rsplit_once(' ').unwrap();
             assert!(value.parse::<i64>().is_ok(), "bad value in {line:?}");
             assert!(!id.is_empty());
         }
@@ -307,6 +385,58 @@ mod tests {
             json.contains("\"counters\":[{\"name\":\"t_c\",\"labels\":{\"a\":\"b\"},\"value\":1}]")
         );
         assert!(json.contains("\"histograms\":[{\"name\":\"t_h\",\"labels\":{},\"count\":1,\"sum\":4,\"buckets\":[{\"le\":4,\"count\":1}]}]"));
+    }
+
+    #[test]
+    fn spans_inherit_trace_context_and_leave_exemplars() {
+        let obs = Obs::new();
+        obs.set_slow_op_threshold_micros(u64::MAX);
+        let root_ctx;
+        {
+            let root = obs.span("t_troot", vec![]);
+            root_ctx = root.context().expect("tracing on by default");
+            assert_eq!(current_trace(), Some(root_ctx));
+            {
+                let child = obs.span("t_tchild", vec![]);
+                let child_ctx = child.context().unwrap();
+                assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+                assert_ne!(child_ctx.span_id, root_ctx.span_id);
+                assert_eq!(current_trace(), Some(child_ctx));
+            }
+            assert_eq!(current_trace(), Some(root_ctx), "child restored parent");
+        }
+        assert_eq!(current_trace(), None, "root restored empty context");
+
+        let events = obs.events_ring().snapshot();
+        assert_eq!(events.len(), 2, "child recorded before root");
+        let (child_ev, root_ev) = (&events[0], &events[1]);
+        assert_eq!(root_ev.name, "t_troot");
+        assert_eq!(root_ev.trace_id, Some(root_ctx.trace_id));
+        assert_eq!(root_ev.parent_span_id, None);
+        assert_eq!(child_ev.trace_id, Some(root_ctx.trace_id));
+        assert_eq!(child_ev.parent_span_id, root_ev.span_id);
+
+        // The ring assembles back into a nested tree.
+        let tree = assemble(&events, root_ctx.trace_id);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].event.name, "t_troot");
+        assert_eq!(tree.roots[0].children[0].event.name, "t_tchild");
+
+        // The duration histograms kept the trace id as a bucket exemplar.
+        let snap = obs.registry().snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.id.render().contains("t_tchild"))
+            .expect("child duration histogram");
+        assert!(
+            h.exemplars.contains(&root_ctx.trace_id),
+            "exemplar links histogram to trace"
+        );
+        assert!(snap.to_json().contains(&format!(
+            "\"trace\":\"{}\"",
+            trace::format_id(root_ctx.trace_id)
+        )));
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub(crate) struct HistogramInner {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    // Last trace id observed per bucket (0 = none): the exemplar linking a
+    // latency outlier back to its span tree.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramInner {
@@ -90,6 +93,7 @@ impl HistogramInner {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -99,11 +103,16 @@ impl HistogramInner {
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation. When the recording thread carries a trace
+    /// context, the trace id is kept as the bucket's exemplar.
     pub fn record(&self, value: u64) {
-        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(value);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
+        if let Some(ctx) = crate::trace::current() {
+            self.0.exemplars[idx].store(ctx.trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Number of observations.
@@ -119,6 +128,11 @@ impl Histogram {
     /// Per-bucket (non-cumulative) observation counts.
     pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket last-seen trace-id exemplars (0 = none recorded).
+    pub fn exemplars(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.exemplars[i].load(Ordering::Relaxed))
     }
 }
 
@@ -166,7 +180,11 @@ impl MetricId {
 }
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    // Prometheus text exposition: label values escape backslash, quote,
+    // and newline (a raw newline would split the sample line in two).
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// One counter/gauge sample in a [`Snapshot`].
@@ -189,6 +207,8 @@ pub struct HistogramSample {
     pub sum: u64,
     /// Per-bucket (non-cumulative) counts.
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket last-seen trace-id exemplars (0 = none).
+    pub exemplars: [u64; HISTOGRAM_BUCKETS],
 }
 
 /// Point-in-time copy of every registered metric, sorted by identity.
@@ -236,17 +256,30 @@ impl Snapshot {
             .sum()
     }
 
-    /// Renders Prometheus text exposition (`name{label="…"} value` lines;
-    /// histograms as cumulative `_bucket`/`_sum`/`_count` series).
+    /// Renders Prometheus text exposition: one `# TYPE` comment per metric
+    /// name followed by its `name{label="…"} value` samples; histograms as
+    /// cumulative `_bucket`/`_sum`/`_count` series.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut typed = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            // Samples are sorted by id, so every label set of one name is
+            // contiguous and gets a single TYPE line.
+            if typed != name {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                typed = name.to_string();
+            }
+        };
         for s in &self.counters {
+            type_line(&mut out, &s.id.name, "counter");
             out.push_str(&format!("{} {}\n", s.id.render(), s.value));
         }
         for s in &self.gauges {
+            type_line(&mut out, &s.id.name, "gauge");
             out.push_str(&format!("{} {}\n", s.id.render(), s.value));
         }
         for h in &self.histograms {
+            type_line(&mut out, &h.id.name, "histogram");
             let mut cumulative = 0u64;
             for (i, b) in h.buckets.iter().enumerate() {
                 cumulative += b;
@@ -345,7 +378,14 @@ impl Snapshot {
                             Some(b) => format!("{b}"),
                             None => "\"+Inf\"".to_string(),
                         };
-                        format!("{{\"le\":{le},\"count\":{c}}}")
+                        if h.exemplars[i] != 0 {
+                            format!(
+                                "{{\"le\":{le},\"count\":{c},\"trace\":\"{}\"}}",
+                                crate::trace::format_id(h.exemplars[i])
+                            )
+                        } else {
+                            format!("{{\"le\":{le},\"count\":{c}}}")
+                        }
                     })
                     .collect();
                 format!(
@@ -438,6 +478,7 @@ impl Registry {
                     count: h.count(),
                     sum: h.sum(),
                     buckets: h.buckets(),
+                    exemplars: h.exemplars(),
                 }),
             }
         }

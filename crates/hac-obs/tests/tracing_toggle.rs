@@ -1,0 +1,40 @@
+//! The process-wide tracing toggle: spans still feed metrics when tracing
+//! is off, but mint no ids and install no context. Lives in its own
+//! integration binary (own process) so flipping the global toggle cannot
+//! race the crate's unit tests.
+
+use hac_obs::{current_trace, set_tracing_enabled, tracing_enabled, Obs};
+
+#[test]
+fn disabling_tracing_keeps_metrics_but_drops_ids() {
+    assert!(tracing_enabled(), "tracing defaults to on");
+    set_tracing_enabled(false);
+    let obs = Obs::new();
+    {
+        let span = obs.span("t_untraced", vec![]);
+        assert_eq!(span.context(), None);
+        assert_eq!(current_trace(), None, "no context installed");
+    }
+    let events = obs.events_ring().snapshot();
+    assert_eq!(events.len(), 1, "event still recorded");
+    assert_eq!(events[0].trace_id, None);
+    assert_eq!(events[0].span_id, None);
+    let snap = obs.registry().snapshot();
+    assert_eq!(
+        snap.histogram_count("hac_span_duration_us", &[("span", "t_untraced")]),
+        Some(1),
+        "duration histogram unaffected by the toggle"
+    );
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.id.name == "hac_span_duration_us")
+        .unwrap();
+    assert!(h.exemplars.iter().all(|&e| e == 0), "no exemplars minted");
+
+    set_tracing_enabled(true);
+    {
+        let span = obs.span("t_traced", vec![]);
+        assert!(span.context().is_some(), "re-enabling restores tracing");
+    }
+}

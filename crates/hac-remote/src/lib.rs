@@ -36,6 +36,8 @@ pub(crate) fn observed<T>(
     f: impl FnOnce() -> Result<T, hac_core::RemoteError>,
 ) -> Result<T, hac_core::RemoteError> {
     let start = std::time::Instant::now();
+    let _span = hac_obs::current_trace()
+        .map(|_| hac_obs::span!("remote_request", ns = ns.0.as_str(), op = op));
     let result = f();
     let labels = [("ns", ns.0.as_str()), ("op", op)];
     hac_obs::counter("hac_remote_requests_total", &labels).inc();

@@ -60,11 +60,15 @@ impl From<hac_vfs::VfsError> for ShellError {
 }
 
 /// A shell session: a file system plus a working directory, and (after
-/// `serve`) a network server exporting it.
+/// `serve` / `obs-serve`) the network and observability servers exporting
+/// it.
 pub struct Shell {
     fs: Arc<HacFs>,
     cwd: VPath,
     server: Option<hac_net::HacServer>,
+    obs_server: Option<hac_obs::ObsServer>,
+    /// Shared with the `/statusz` closure so it sees serve/stop live.
+    net_addr: Arc<std::sync::Mutex<Option<std::net::SocketAddr>>>,
 }
 
 impl Default for Shell {
@@ -76,11 +80,7 @@ impl Default for Shell {
 impl Shell {
     /// Fresh shell over a fresh file system.
     pub fn new() -> Self {
-        Shell {
-            fs: Arc::new(HacFs::new()),
-            cwd: VPath::root(),
-            server: None,
-        }
+        Self::over(Arc::new(HacFs::new()))
     }
 
     /// Shell over an existing file system (shared with other components).
@@ -89,12 +89,19 @@ impl Shell {
             fs,
             cwd: VPath::root(),
             server: None,
+            obs_server: None,
+            net_addr: Arc::new(std::sync::Mutex::new(None)),
         }
     }
 
     /// Address of the running `serve` instance, if any.
     pub fn server_addr(&self) -> Option<std::net::SocketAddr> {
         self.server.as_ref().map(hac_net::HacServer::local_addr)
+    }
+
+    /// Address of the running `obs-serve` instance, if any.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(hac_obs::ObsServer::local_addr)
     }
 
     /// The wrapped file system.
@@ -130,6 +137,9 @@ impl Shell {
         let Some((cmd, args)) = words.split_first() else {
             return Ok(String::new());
         };
+        // Operation root: every command mints (or continues) a trace, so
+        // child spans in query eval / resync / remote fetches nest under it.
+        let _root = hac_obs::span!("hacsh_command", cmd = cmd);
         match cmd.as_str() {
             "help" => Ok(HELP.to_string()),
             "pwd" => Ok(self.cwd.to_string()),
@@ -395,6 +405,7 @@ impl Shell {
                     Some(server) => {
                         let addr = server.local_addr();
                         server.shutdown();
+                        *self.net_addr.lock().unwrap() = None;
                         Ok(format!("stopped server on {addr}\n"))
                     }
                     None => Ok("no server running\n".to_string()),
@@ -427,6 +438,7 @@ impl Shell {
                     })?;
                     let bound = server.local_addr();
                     self.server = Some(server);
+                    *self.net_addr.lock().unwrap() = Some(bound);
                     Ok(format!("serving {ns} on tcp://{bound}/{ns}\n"))
                 }
                 _ => Err(ShellError::Usage(
@@ -456,6 +468,59 @@ impl Shell {
                         + "\n")
                 }
                 _ => Err(ShellError::Usage("mounts <dir>")),
+            },
+            // --- observability --------------------------------------------
+            "obs-serve" => match args {
+                [word] if word == "stop" => match self.obs_server.take() {
+                    Some(mut server) => {
+                        let addr = server.local_addr();
+                        server.shutdown();
+                        Ok(format!("stopped observability server on {addr}\n"))
+                    }
+                    None => Ok("no observability server running\n".to_string()),
+                },
+                [word] if word == "status" => Ok(match &self.obs_server {
+                    Some(s) => format!("observability on http://{}/\n", s.local_addr()),
+                    None => "no observability server running\n".to_string(),
+                }),
+                [addr] => {
+                    if self.obs_server.is_some() {
+                        return Err(ShellError::Usage(
+                            "obs-serve: already running (use `obs-serve stop` first)",
+                        ));
+                    }
+                    let server = hac_obs::ObsServer::serve(addr.as_str(), self.status_fn())
+                        .map_err(|e| {
+                            ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                                e.to_string(),
+                            )))
+                        })?;
+                    let bound = server.local_addr();
+                    self.obs_server = Some(server);
+                    Ok(format!(
+                        "observability on http://{bound}/ \
+                         (/metrics /healthz /statusz /events /slow /trace/<id>)\n"
+                    ))
+                }
+                _ => Err(ShellError::Usage(
+                    "obs-serve <addr> | obs-serve stop | obs-serve status",
+                )),
+            },
+            "trace" => match args {
+                [id] => {
+                    let Some(tid) = hac_obs::trace::parse_id(id) else {
+                        return Err(ShellError::Usage("trace <trace-id (hex)>"));
+                    };
+                    let mut events = hac_obs::recent_events();
+                    events.extend(hac_obs::slow_ops());
+                    let tree = hac_obs::assemble(&events, tid);
+                    if tree.roots.is_empty() {
+                        Ok(format!("trace {id}: no spans buffered\n"))
+                    } else {
+                        Ok(tree.render())
+                    }
+                }
+                _ => Err(ShellError::Usage("trace <id>")),
             },
             "stats" => match args {
                 [] => {
@@ -518,6 +583,36 @@ impl Shell {
         }
     }
 
+    /// Builds the `/statusz` closure for the observability server: a JSON
+    /// snapshot of index shape, metadata footprint, the exporting
+    /// `HacServer` (if any), buffered telemetry, and the tracing toggle.
+    fn status_fn(&self) -> hac_obs::http::StatusFn {
+        let fs = Arc::clone(&self.fs);
+        let net_addr = Arc::clone(&self.net_addr);
+        Arc::new(move || {
+            let s = fs.index_stats();
+            let server = match *net_addr.lock().unwrap() {
+                Some(addr) => format!("\"tcp://{addr}/\""),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"index\":{{\"docs\":{},\"terms\":{},\"blocks\":{},\"bytes\":{}}},\
+                 \"metadata_bytes\":{},\"hac_server\":{},\
+                 \"events_buffered\":{},\"slow_ops_buffered\":{},\
+                 \"tracing_enabled\":{}}}\n",
+                s.docs,
+                s.terms,
+                s.blocks,
+                s.total_bytes(),
+                fs.metadata_bytes(),
+                server,
+                hac_obs::recent_events().len(),
+                hac_obs::slow_ops().len(),
+                hac_obs::tracing_enabled(),
+            )
+        })
+    }
+
     /// Executes a `;`-separated script, collecting output; stops at the
     /// first error.
     pub fn exec_script(&mut self, script: &str) -> Result<String, ShellError> {
@@ -549,7 +644,9 @@ sact <link> | ssync [path] | find <query> | explain <query>
 curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
 network     : serve <addr> <ns> [dir] | serve stop | serve status | \
 mount <dir> tcp://host:port/ns
-other       : mounts <dir> | stats [--prom|--events] | help
+observe     : obs-serve <addr>|stop|status | trace <id> | \
+stats [--prom|--events]
+other       : mounts <dir> | help
 ";
 
 #[cfg(test)]

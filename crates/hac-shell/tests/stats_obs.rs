@@ -62,12 +62,18 @@ fn stats_shows_live_counters_and_prom_exposition() {
     assert!(human.starts_with("docs "), "{human}");
     assert!(human.contains("counters:"), "{human}");
     assert!(human.contains("hac_ssync_passes_total"), "{human}");
+    assert!(human.contains("hac_events_dropped_total"), "{human}");
     assert!(human.contains("histograms:"), "{human}");
     assert!(human.contains("hac_query_eval_duration_us"), "{human}");
 
-    // Prometheus exposition: every line parses, required series present.
+    // Prometheus exposition: every sample line parses, `# TYPE` comments
+    // announce each metric, required series present.
     let prom = sh.exec("stats --prom").unwrap();
     for line in prom.lines() {
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(comment.starts_with("TYPE "), "unexpected comment {line:?}");
+            continue;
+        }
         let (id, value) = line.rsplit_once(' ').expect("line has `id value` shape");
         assert!(!id.is_empty());
         assert!(
@@ -75,6 +81,10 @@ fn stats_shows_live_counters_and_prom_exposition() {
             "unparseable value in {line:?}"
         );
     }
+    assert!(
+        prom.contains("# TYPE hac_query_eval_duration_us histogram"),
+        "{prom}"
+    );
     for needle in [
         "hac_reindex_passes_total{outcome=\"ok\"}",
         "hac_reindex_passes_total{outcome=\"failed\"}",

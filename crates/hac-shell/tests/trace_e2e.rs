@@ -1,0 +1,130 @@
+//! End-to-end distributed tracing: a query issued through an `smount`-ed
+//! `NetRemote` → `HacServer` pair carries ONE trace id across the wire —
+//! the server's `net_server_request` span lands in the event ring nested
+//! under the client's `net_client_request` span — and the assembled tree
+//! is visible over HTTP via `GET /trace/<id>` on the embedded
+//! observability server.
+//!
+//! This file holds a single test: it asserts over the process-global
+//! event ring, so it must not share a test binary with unrelated span
+//! traffic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use hac_obs::SpanNode;
+use hac_shell::Shell;
+
+/// Depth-first search for a span by event name.
+fn find<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+    for node in nodes {
+        if node.event.name == name {
+            return Some(node);
+        }
+        if let Some(hit) = find(&node.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn one_trace_id_spans_client_and_server_and_is_served_over_http() {
+    // Exporter: a shell serving /pub over real TCP.
+    let mut exporter = Shell::new();
+    exporter
+        .exec_script(
+            "mkdir /pub; write /pub/notes.txt shared semantic notes; \
+             write /pub/misc.txt grocery list; ssync",
+        )
+        .unwrap();
+    exporter.exec("serve 127.0.0.1:0 team /pub").unwrap();
+    let addr = exporter.server_addr().expect("server running");
+
+    // Importer: mounts the export, then creates a semantic directory whose
+    // query evaluation crosses the wire. The `smkdir` command is the
+    // operation root — everything below it must share its trace id.
+    let mut importer = Shell::new();
+    importer.exec("mkdir /lib").unwrap();
+    importer
+        .exec(&format!("mount /lib tcp://{addr}/team"))
+        .unwrap();
+    let out = importer.exec("smkdir /sem semantic").unwrap();
+    assert!(out.contains("1 links"), "{out}");
+
+    // The client-side request span for the remote search.
+    let events = hac_obs::recent_events();
+    let client = events
+        .iter()
+        .filter(|e| e.name == "net_client_request")
+        .filter(|e| e.fields.iter().any(|(k, v)| k == "op" && v == "search"))
+        .last()
+        .expect("client request span recorded");
+    let trace_id = client.trace_id.expect("client span carries a trace id");
+    let client_span = client.span_id.expect("client span has a span id");
+
+    // The server handled the request on its own worker thread, yet its
+    // span joined the same trace, parented under the client span.
+    let server = events
+        .iter()
+        .filter(|e| e.name == "net_server_request")
+        .find(|e| e.trace_id == Some(trace_id))
+        .expect("server continued the client's trace");
+    assert_eq!(
+        server.parent_span_id,
+        Some(client_span),
+        "server span must nest under the client's request span"
+    );
+    assert!(
+        server.duration_micros.is_some(),
+        "server span measured its handling time"
+    );
+
+    // Assembled tree: the shell command is the root, and the server span
+    // hangs below the client span.
+    let tree = hac_obs::assemble(&events, trace_id);
+    assert_eq!(tree.roots.len(), 1, "one operation root: {}", tree.render());
+    assert_eq!(tree.roots[0].event.name, "hacsh_command");
+    let client_node = find(&tree.roots, "net_client_request").expect("client span in tree");
+    assert!(
+        find(&client_node.children, "net_server_request").is_some(),
+        "server span must be a descendant of the client span:\n{}",
+        tree.render()
+    );
+    assert!(
+        tree.span_count() >= 4,
+        "expected a deep tree:\n{}",
+        tree.render()
+    );
+
+    // The same tree is served over HTTP by the embedded endpoint.
+    let out = importer.exec("obs-serve 127.0.0.1:0").unwrap();
+    assert!(out.contains("observability on http://"), "{out}");
+    let obs_addr = importer.obs_addr().expect("obs server running");
+    let hex = format!("{trace_id:016x}");
+    let response = http_get(obs_addr, &format!("/trace/{hex}"));
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("net_client_request"), "{response}");
+    assert!(response.contains("net_server_request"), "{response}");
+    assert!(response.contains(&hex), "{response}");
+
+    // The shell renderer shows the same nesting.
+    let rendered = importer.exec(&format!("trace {hex}")).unwrap();
+    assert!(rendered.contains("hacsh_command"), "{rendered}");
+    assert!(rendered.contains("net_server_request"), "{rendered}");
+
+    importer.exec("obs-serve stop").unwrap();
+    exporter.exec("serve stop").unwrap();
+}
