@@ -1,12 +1,15 @@
-//! Reindex-pipeline throughput: cold pass, warm (unchanged-tree) pass, and
-//! the tokenize-phase parallel speedup, emitted as `BENCH_reindex.json`.
+//! Reindex-pipeline throughput: cold pass, warm (unchanged-tree) pass, the
+//! tokenize-phase parallel speedup, and the segmented-store durability tier
+//! (durable apply + crash recovery), emitted as `BENCH_reindex.json`.
 //!
 //! `cargo run -p hac-bench --release --bin reindex`
 //!
 //! Flags: `--files N --words N --semdirs-extra N --threads N` scale the
-//! corpus and the parallel run; `--smoke` shrinks everything to CI size;
+//! corpus and the parallel run; `--durable-files N` scales the durability
+//! tier (20k docs by default); `--smoke` shrinks everything to CI size;
 //! `--out PATH` moves the JSON snapshot (default `BENCH_reindex.json`).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hac_bench::{arg_flag, arg_str, arg_usize, report_metrics_snapshot};
@@ -104,6 +107,81 @@ fn main() {
         "parallel pass must index the same docs"
     );
 
+    // Durability tier: a larger corpus on a store-attached instance. The
+    // cold pass commits segments as it applies; a one-file touch must seal
+    // exactly one more; and a "reboot" (namespace snapshot -> restore ->
+    // load_index) must warm-start from the durable trail at a small
+    // fraction of the cold-reindex cost.
+    let durable_files = arg_usize("durable-files", if smoke { 300 } else { 20_000 });
+    let dspec = DocCollectionSpec {
+        files: durable_files,
+        mean_words: arg_usize("durable-words", 30),
+        vocab: spec.vocab,
+        ..Default::default()
+    };
+    let dfs = build_fs(1, &dspec, 0);
+    dfs.attach_store(Arc::new(hac_core::VfsStore::new(Arc::clone(dfs.vfs()))))
+        .expect("attach store");
+    let obs0 = hac_obs::snapshot();
+    let t = Instant::now();
+    let dcold = dfs.ssync(&p("/")).expect("durable cold ssync");
+    let durable_cold_time = t.elapsed();
+    assert_eq!(dcold.added as usize, durable_files);
+
+    dfs.append(&p("/db/d0000/doc000000.txt"), b" benchward")
+        .expect("durable touch");
+    let t = Instant::now();
+    let dincr = dfs.ssync(&p("/")).expect("durable incremental ssync");
+    let durable_apply_time = t.elapsed();
+    assert_eq!(dincr.updated, 1);
+
+    let obs1 = hac_obs::snapshot();
+    let durable_segments_written = obs1
+        .counter_value("hac_store_segments_written_total", &[])
+        .unwrap_or(0)
+        - obs0
+            .counter_value("hac_store_segments_written_total", &[])
+            .unwrap_or(0);
+    assert_eq!(
+        durable_segments_written, 2,
+        "cold apply + one-file apply must seal exactly two segments"
+    );
+    // A daemon maintenance tick folds the redundant trail (the cold
+    // segment re-covers every doc the one-file segment touches) into a
+    // base checkpoint, so the reboot below decodes a snapshot instead of
+    // replaying a 20k-doc delta log — the steady state of a live system.
+    dfs.store_maintain().expect("store maintain");
+    let durable_status = dfs.store_status().expect("store status");
+
+    // The store rides inside the namespace, so a snapshot/restore carries
+    // the whole durable trail: recovery is attach + load_index.
+    let image = hac_vfs::persist::snapshot(dfs.vfs()).expect("namespace snapshot");
+    drop(dfs);
+    let fresh = HacFs::new();
+    hac_vfs::persist::restore(fresh.vfs(), &image).expect("namespace restore");
+    fresh.recover_metadata().expect("recover metadata");
+    let t = Instant::now();
+    fresh
+        .attach_store(Arc::new(hac_core::VfsStore::new(Arc::clone(fresh.vfs()))))
+        .expect("re-attach store");
+    let warm_start = fresh.load_index().expect("load_index");
+    let durable_recovery_time = t.elapsed();
+    assert!(warm_start, "durable store must warm-start after a reboot");
+    let check = fresh.ssync(&p("/")).expect("post-recovery ssync");
+    assert_eq!(
+        check.added + check.updated + check.removed,
+        0,
+        "recovery must land the exact pre-reboot index"
+    );
+    let durable_recovery_speedup =
+        durable_cold_time.as_secs_f64() / durable_recovery_time.as_secs_f64().max(1e-9);
+    if !smoke {
+        assert!(
+            durable_recovery_speedup >= 10.0,
+            "recovery only {durable_recovery_speedup:.1}x faster than cold reindex (need >=10x)"
+        );
+    }
+
     let semdirs = 3 + extra_semdirs;
     let warm_speedup = cold1_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
     let par_speedup = cold1_time.as_secs_f64() / coldn_time.as_secs_f64().max(1e-9);
@@ -130,6 +208,21 @@ fn main() {
         ms(incr_time),
         incr.dirs_synced
     );
+    println!("Durability tier ({durable_files} files, segmented store)");
+    println!(
+        "  durable cold pass         : {:>10.3} ms  ({durable_segments_written} segments sealed)",
+        ms(durable_cold_time)
+    );
+    println!(
+        "  durable apply (1 file)    : {:>10.3} ms",
+        ms(durable_apply_time)
+    );
+    println!(
+        "  recovery (reboot warm)    : {:>10.3} ms  ({:.1}x under cold, {} segments live)",
+        ms(durable_recovery_time),
+        durable_recovery_speedup,
+        durable_status.segments_live
+    );
 
     // The pipeline's contract, checked on every run: an unchanged tree
     // re-evaluates nothing and is far cheaper than the cold pass.
@@ -141,7 +234,7 @@ fn main() {
 
     let out = arg_str("out").unwrap_or_else(|| "BENCH_reindex.json".to_string());
     let json = format!(
-        "{{\n  \"bench\": \"reindex\",\n  \"smoke\": {smoke},\n  \"corpus\": {{ \"files\": {files}, \"mean_words\": {words} }},\n  \"semdirs\": {semdirs},\n  \"cold_pass_1thread_ms\": {cold1_ms:.3},\n  \"cold_pass_parallel_ms\": {coldn_ms:.3},\n  \"parallel_threads\": {par_threads},\n  \"parallel_speedup\": {par_speedup:.3},\n  \"warm_pass_ms\": {warm_ms:.3},\n  \"warm_pass_semdirs_synced\": {warm_dirs},\n  \"warm_speedup_vs_cold\": {warm_speedup:.1},\n  \"incremental_1file_ms\": {incr_ms:.3},\n  \"incremental_1file_semdirs_synced\": {incr_dirs},\n  \"docs_indexed_cold\": {added}\n}}\n",
+        "{{\n  \"bench\": \"reindex\",\n  \"smoke\": {smoke},\n  \"corpus\": {{ \"files\": {files}, \"mean_words\": {words} }},\n  \"semdirs\": {semdirs},\n  \"cold_pass_1thread_ms\": {cold1_ms:.3},\n  \"cold_pass_parallel_ms\": {coldn_ms:.3},\n  \"parallel_threads\": {par_threads},\n  \"parallel_speedup\": {par_speedup:.3},\n  \"warm_pass_ms\": {warm_ms:.3},\n  \"warm_pass_semdirs_synced\": {warm_dirs},\n  \"warm_speedup_vs_cold\": {warm_speedup:.1},\n  \"incremental_1file_ms\": {incr_ms:.3},\n  \"incremental_1file_semdirs_synced\": {incr_dirs},\n  \"docs_indexed_cold\": {added},\n  \"durability_files\": {durable_files},\n  \"durable_cold_ms\": {dcold_ms:.3},\n  \"durable_apply_ms\": {dapply_ms:.3},\n  \"durable_recovery_ms\": {drec_ms:.3},\n  \"durable_recovery_speedup\": {durable_recovery_speedup:.1},\n  \"durable_segments_written\": {durable_segments_written},\n  \"durable_segments_live\": {dsegs_live}\n}}\n",
         files = spec.files,
         words = spec.mean_words,
         cold1_ms = ms(cold1_time),
@@ -150,6 +243,10 @@ fn main() {
         incr_ms = ms(incr_time),
         incr_dirs = incr.dirs_synced,
         added = cold1.added,
+        dcold_ms = ms(durable_cold_time),
+        dapply_ms = ms(durable_apply_time),
+        drec_ms = ms(durable_recovery_time),
+        dsegs_live = durable_status.segments_live,
     );
     std::fs::write(&out, json).expect("write BENCH_reindex.json");
     println!("\nsnapshot: {out}");

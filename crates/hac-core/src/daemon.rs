@@ -67,9 +67,14 @@ pub struct ReindexDaemon {
 }
 
 impl ReindexDaemon {
-    /// Spawns a daemon that calls `fs.ssync("/")` every `interval`.
+    /// Spawns a daemon that calls `fs.ssync("/")` every `interval`, then
+    /// runs one bounded store-maintenance step (segment merge or
+    /// checkpoint) when a durable store is attached.
     pub fn spawn(fs: Arc<HacFs>, interval: Duration) -> Self {
-        Self::spawn_with(fs, interval, |fs| fs.ssync(&VPath::root()).map(|_| ()))
+        Self::spawn_with(fs, interval, |fs| {
+            fs.ssync(&VPath::root())?;
+            fs.store_maintain()
+        })
     }
 
     /// Spawns a daemon running an arbitrary tick function every `interval`

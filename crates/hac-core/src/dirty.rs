@@ -258,6 +258,12 @@ impl DocPathMap {
         self.paths.get(&doc).map(String::as_str)
     }
 
+    /// All recorded (doc, path) entries — the payload of a durable
+    /// checkpoint's path sidecar.
+    pub fn dump(&self) -> Vec<(u64, String)> {
+        self.paths.iter().map(|(d, p)| (d.0, p.clone())).collect()
+    }
+
     /// Number of recorded documents.
     pub fn len(&self) -> usize {
         self.paths.len()

@@ -41,6 +41,9 @@ pub enum HacError {
     BadLinkTarget(VPath),
     /// The `sact` link is not inside a semantic directory with a query.
     NoQueryContext(VPath),
+    /// The durable index store failed (or none is attached where one is
+    /// required).
+    Store(String),
 }
 
 impl fmt::Display for HacError {
@@ -64,6 +67,7 @@ impl fmt::Display for HacError {
             HacError::NoQueryContext(p) => {
                 write!(f, "no enclosing semantic directory query for {p}")
             }
+            HacError::Store(m) => write!(f, "index store error: {m}"),
         }
     }
 }
@@ -85,6 +89,12 @@ impl From<ParseError> for HacError {
 impl From<RemoteError> for HacError {
     fn from(e: RemoteError) -> Self {
         HacError::Remote(e)
+    }
+}
+
+impl From<hac_store::StoreError> for HacError {
+    fn from(e: hac_store::StoreError) -> Self {
+        HacError::Store(e.to_string())
     }
 }
 

@@ -629,7 +629,26 @@ impl HacFs {
         hac_obs::histogram("hac_reindex_tokenize_duration_us", &[])
             .record(tokenize_start.elapsed().as_micros() as u64);
         let mut state = self.state.write();
-        let (mut report, dirty) = state.apply_sync(&self.vfs, &plan, docs);
+        let (mut report, dirty, applied) = state.apply_sync(&self.vfs, &plan, docs);
+        if let (Some(store), false) = (state.store.as_ref(), applied.is_empty()) {
+            // Seal exactly what this apply phase landed into ONE durable
+            // segment, while the write lock still guarantees the segment
+            // sequence matches the in-memory apply order. A failed commit
+            // degrades durability (the delta is re-derived from version
+            // comparison after a crash), never in-memory correctness.
+            let segment = hac_index::Segment::from_delta(
+                store.next_seq(),
+                state.index.generation(),
+                &applied.adds,
+                &applied.removes,
+                |d| state.doc_paths.path_of(d).map(str::to_string),
+            );
+            if let Err(e) = store.commit_segment(&segment) {
+                hac_obs::counter("hac_store_commit_failures_total", &[]).inc();
+                hac_obs::global()
+                    .event("store_commit_failed", vec![("error".into(), e.to_string())]);
+            }
+        }
         report.links_repaired = state.repair_links(&self.vfs)?;
         report.dirs_synced = {
             let _resync = hac_obs::current_trace().map(|_| hac_obs::span!("ssync_resync"));
@@ -873,13 +892,56 @@ impl HacFs {
     // Index persistence
     // ------------------------------------------------------------------
 
-    /// Persists the content index into the reserved metadata area, so a
-    /// restored snapshot can warm-start with [`HacFs::load_index`] instead
-    /// of re-tokenizing every file (Glimpse likewise keeps its index files
-    /// on disk).
+    /// Attaches a durable index store over `backend`. From here on, every
+    /// `ssync` apply phase commits its delta as one crash-atomic segment,
+    /// [`HacFs::persist_index`] checkpoints through the store, and
+    /// [`HacFs::load_index`] recovers through it (manifest + segments +
+    /// WAL tail). A corrupt manifest degrades to a fresh store (and a cold
+    /// rebuild) rather than failing attachment — surfaced via
+    /// `hac_store_open_failures_total`.
+    pub fn attach_store(&self, backend: Arc<dyn hac_store::ContentStore>) -> HacResult<()> {
+        let mut state = self.state.write();
+        let threshold = state.config.store_merge_threshold;
+        let store = match crate::store::IndexStore::open(Arc::clone(&backend), threshold) {
+            Ok(store) => store,
+            Err(e) => {
+                hac_obs::counter("hac_store_open_failures_total", &[]).inc();
+                hac_obs::global().event("store_open_failed", vec![("error".into(), e.to_string())]);
+                // Reset the commit point so the fresh store's first commit
+                // is not shadowed by the unreadable manifest.
+                backend.wal_reset().map_err(HacError::from)?;
+                crate::store::IndexStore::open_fresh(backend, threshold)
+            }
+        };
+        state.store = Some(Arc::new(store));
+        Ok(())
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<Arc<crate::store::IndexStore>> {
+        self.state.read().store.clone()
+    }
+
+    /// Current index generation (for tests and recovery assertions).
+    pub fn index_generation(&self) -> u64 {
+        self.state.read().index.generation()
+    }
+
+    /// Persists the content index so a restored snapshot can warm-start
+    /// with [`HacFs::load_index`] instead of re-tokenizing every file
+    /// (Glimpse likewise keeps its index files on disk).
+    ///
+    /// With a store attached this is a *checkpoint*: the whole index
+    /// becomes the new base snapshot and the segment run resets. Without
+    /// one, it writes the legacy single-file snapshot (now carrying the
+    /// versioned `HACI` envelope).
     pub fn persist_index(&self) -> HacResult<()> {
         let state = self.state.read();
-        let bytes = hac_vfs::persist::encode_value(&state.index)
+        if let Some(store) = state.store.as_ref() {
+            store.checkpoint(&state.index, &state.doc_paths.dump())?;
+            return Ok(());
+        }
+        let bytes = crate::store::encode_index_snapshot(&state.index)
             .map_err(|_| HacError::Vfs(hac_vfs::VfsError::Unsupported("index encode")))?;
         drop(state);
         let meta_dir = VPath::from_components([crate::state::META_DIR])?;
@@ -889,21 +951,77 @@ impl HacFs {
     }
 
     /// Loads a previously persisted index. Returns `false` (leaving the
-    /// current index untouched) when none exists or it fails to decode.
-    /// Content that changed since the index was persisted is reconciled by
-    /// the next `ssync`, exactly like any other stale index state.
+    /// current index untouched) when nothing durable exists or it fails to
+    /// decode. Content that changed since persistence is reconciled by the
+    /// next `ssync`, exactly like any other stale index state.
+    ///
+    /// With a store attached, recovery replays `base + segments + WAL
+    /// tail` (completing any commit a crash interrupted). The legacy
+    /// single-file snapshot — versioned or headerless — remains readable
+    /// as the migration path.
     pub fn load_index(&self) -> HacResult<bool> {
+        let (store, granularity) = {
+            let state = self.state.read();
+            (state.store.clone(), state.config.granularity)
+        };
+        if let Some(store) = store {
+            match store.recover(granularity) {
+                Ok(Some(rec)) => {
+                    hac_obs::global().event(
+                        "store_recovered",
+                        vec![
+                            ("docs".into(), rec.report.docs.to_string()),
+                            ("segments".into(), rec.report.segments_replayed.to_string()),
+                            (
+                                "wal_completed".into(),
+                                rec.report.wal_commits_completed.to_string(),
+                            ),
+                        ],
+                    );
+                    self.install_loaded_index(rec.index, Some(rec.paths));
+                    return Ok(true);
+                }
+                // Nothing durable in the store yet: fall through to the
+                // legacy snapshot (the migration path).
+                Ok(None) => {}
+                Err(e) => {
+                    hac_obs::counter("hac_store_recovery_failures_total", &[]).inc();
+                    hac_obs::global().event(
+                        "store_recovery_failed",
+                        vec![("error".into(), e.to_string())],
+                    );
+                    return Ok(false);
+                }
+            }
+        }
+        self.load_legacy_snapshot()
+    }
+
+    /// The legacy whole-snapshot read path (read-only migration path when
+    /// a store is attached; the only path when not).
+    fn load_legacy_snapshot(&self) -> HacResult<bool> {
         let meta_dir = VPath::from_components([crate::state::META_DIR])?;
         let Ok(bytes) = self.vfs.read_file(&meta_dir.join("index")?) else {
             return Ok(false);
         };
-        let index = match hac_vfs::persist::decode_value::<hac_index::Index>(&bytes) {
-            Ok(index) => index,
+        let index = match crate::store::decode_index_snapshot(&bytes) {
+            Ok(crate::store::SnapshotDecode::Current(index)) => *index,
+            Ok(crate::store::SnapshotDecode::VersionSkew(version)) => {
+                // A future (or retired) snapshot format: structurally fine,
+                // just not ours. Degrade to a counted migration — the next
+                // ssync cold-rebuilds — instead of a silent decode failure.
+                hac_obs::counter("hac_index_snapshot_version_skew_total", &[]).inc();
+                hac_obs::global().event(
+                    "index_snapshot_version_skew",
+                    vec![("version".to_string(), version.to_string())],
+                );
+                return Ok(false);
+            }
             Err(_) => {
-                // The snapshot codec is positional, so a layout change in
-                // `Index` (or corruption) fails decode here. Surface it —
-                // the operator is about to pay for a full reindex and
-                // should be able to see why the warm start didn't happen.
+                // Corruption, or a layout change in `Index` under the old
+                // headerless positional codec. Surface it — the operator is
+                // about to pay for a full reindex and should see why the
+                // warm start didn't happen.
                 hac_obs::counter("hac_index_snapshot_decode_failures_total", &[]).inc();
                 hac_obs::global().event(
                     "index_snapshot_decode_failed",
@@ -912,13 +1030,102 @@ impl HacFs {
                 return Ok(false);
             }
         };
+        self.install_loaded_index(index, None);
+        Ok(true)
+    }
+
+    fn install_loaded_index(&self, index: hac_index::Index, restored: Option<Vec<(u64, String)>>) {
         let mut state = self.state.write();
         state.index = index;
         // The loaded index restarts the generation lineage; cached results
         // keyed against the old lineage must not validate against it.
         state.result_cache.clear();
-        state.rebuild_doc_paths(&self.vfs);
-        Ok(true)
+        // Fast path: the durable trail carried every live document's
+        // indexed path, so the doc→path map rebuilds in O(index) without
+        // touching the namespace. Documents that vanished while the
+        // system was down keep their (now stale) path and are swept by
+        // the next ssync pass, exactly like a removal between passes.
+        if let Some(pairs) = restored {
+            let mut map = crate::dirty::DocPathMap::new();
+            for (doc, path) in &pairs {
+                if let Ok(vpath) = VPath::parse(path) {
+                    map.record(hac_index::DocId(*doc), &vpath);
+                }
+            }
+            let covered = state
+                .index
+                .all_docs()
+                .ids()
+                .iter()
+                .all(|d| map.path_of(*d).is_some());
+            if covered {
+                state.doc_paths = map;
+                return;
+            }
+            // A trail sealed without paths (or with holes): fall back to
+            // the walk below.
+        }
+        let pruned = state.rebuild_doc_paths(&self.vfs);
+        if let (Some(store), false) = (state.store.as_ref(), pruned.is_empty()) {
+            // Make the vanished-doc prune durable, or every future
+            // recovery resurrects and re-prunes the same docs.
+            let segment = hac_index::Segment::from_delta(
+                store.next_seq(),
+                state.index.generation(),
+                &[],
+                &pruned,
+                |_| None,
+            );
+            if let Err(e) = store.commit_segment(&segment) {
+                hac_obs::counter("hac_store_commit_failures_total", &[]).inc();
+                hac_obs::global()
+                    .event("store_commit_failed", vec![("error".into(), e.to_string())]);
+            }
+        }
+    }
+
+    /// One background maintenance step for the attached store (the daemon
+    /// calls this each tick): checkpoint when the delta run outweighs the
+    /// in-memory index (size-tiering's top tier), otherwise fold the
+    /// oldest segments back under the configured threshold. No-op without
+    /// a store.
+    pub fn store_maintain(&self) -> HacResult<()> {
+        let state = self.state.read();
+        let Some(store) = state.store.clone() else {
+            return Ok(());
+        };
+        let status = store.status()?;
+        let doc_count = state.index.doc_count();
+        // Strictly greater: a run that merely covers each doc once costs
+        // the same to replay as a snapshot costs to decode; only
+        // *redundancy* (rewrites, removals) makes the checkpoint pay.
+        if status.segments_live > 1 && status.segment_docs > doc_count {
+            // Replaying the run costs more than decoding a snapshot:
+            // fold everything into a fresh base. The read lock keeps
+            // ssync from moving the index under the checkpoint.
+            store.checkpoint(&state.index, &state.doc_paths.dump())?;
+            return Ok(());
+        }
+        drop(state);
+        store.maintain()?;
+        Ok(())
+    }
+
+    /// Sweeps unreferenced store objects older than `grace` (in the
+    /// backend's age unit: seconds on disk, logical ticks in the VFS).
+    pub fn store_gc(&self, grace: u64) -> HacResult<crate::store::GcReport> {
+        let store = self
+            .store()
+            .ok_or_else(|| HacError::Store("no store attached".into()))?;
+        Ok(store.gc(grace)?)
+    }
+
+    /// Status of the attached store.
+    pub fn store_status(&self) -> HacResult<crate::store::StoreStatus> {
+        let store = self
+            .store()
+            .ok_or_else(|| HacError::Store("no store attached".into()))?;
+        Ok(store.status()?)
     }
 
     // ------------------------------------------------------------------

@@ -16,7 +16,9 @@
 //! * [`uidmap`] — rename-stable directory identifiers inside queries;
 //! * [`scope`] / [`remote`] — scopes spanning local files and semantic
 //!   mount points (§3), including multiple mounts per point;
-//! * [`daemon`] — the periodic reindexer of §2.4.
+//! * [`daemon`] — the periodic reindexer of §2.4;
+//! * [`store`] — durable, segmented index persistence (WAL commits,
+//!   crash recovery, background merge) over a content-addressed store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod remote;
 pub mod scope;
 pub mod semdir;
 pub mod state;
+pub mod store;
 pub mod uidmap;
 
 pub use daemon::{DaemonStatus, ReindexDaemon};
@@ -42,5 +45,9 @@ pub use remote::{
 };
 pub use scope::{RemoteSet, Scope};
 pub use semdir::{LinkKind, LinkState, LinkTarget, SemDir};
-pub use state::{HacConfig, SyncReport};
+pub use state::{AppliedDelta, HacConfig, SyncReport};
+pub use store::{
+    GcReport, IndexStore, MaintainReport, RecoveryReport, StoreStatus, VfsStore, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use uidmap::UidMap;

@@ -112,6 +112,10 @@ pub struct HacConfig {
     /// Worker threads for the tokenize phase of a reindex pass. `0` (the
     /// default) sizes to the machine's available parallelism.
     pub reindex_threads: usize,
+    /// Maximum live segments in the durable index store before the
+    /// daemon's maintenance tick merges a run (bounds recovery replay
+    /// length and read amplification). Ignored when no store is attached.
+    pub store_merge_threshold: usize,
 }
 
 impl Default for HacConfig {
@@ -122,6 +126,7 @@ impl Default for HacConfig {
             eager_content_index: false,
             sparse_results: false,
             reindex_threads: 0,
+            store_merge_threshold: 8,
         }
     }
 }
@@ -184,6 +189,26 @@ impl SyncPlan {
         self.to_index.is_empty()
             && self.refresh_paths.is_empty()
             && self.stale_candidates.is_empty()
+    }
+}
+
+/// The changes a reindex pass actually landed in the index: the deltas
+/// that survived version arbitration plus the removals of docs that were
+/// indexed. When a durable store is attached, this is exactly the payload
+/// sealed into one segment — nothing more, nothing less, so replaying the
+/// segment reproduces the pass.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedDelta {
+    /// Deltas applied (new or newer-version documents).
+    pub adds: Vec<DocDelta>,
+    /// Indexed documents removed.
+    pub removes: Vec<DocId>,
+}
+
+impl AppliedDelta {
+    /// True when the pass changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
     }
 }
 
@@ -352,6 +377,10 @@ pub struct HacState {
     /// start of the pass, so the next `ssync` must fall back to a full
     /// re-evaluation.
     pub pending_scope_sync: bool,
+    /// The durable segmented index store, when one is attached
+    /// ([`crate::HacFs::attach_store`]). `None` keeps the legacy
+    /// whole-snapshot persistence path.
+    pub store: Option<Arc<crate::store::IndexStore>>,
 }
 
 impl HacState {
@@ -372,6 +401,7 @@ impl HacState {
             doc_paths: DocPathMap::new(),
             result_cache: HashMap::new(),
             pending_scope_sync: false,
+            store: None,
         }
     }
 
@@ -446,7 +476,8 @@ impl HacState {
     ) -> (SyncReport, DirtySet) {
         let plan = self.plan_sync(vfs, root);
         let docs = tokenize_plan(vfs, registry, &plan, 1);
-        self.apply_sync(vfs, &plan, docs)
+        let (report, dirty, _applied) = self.apply_sync(vfs, &plan, docs);
+        (report, dirty)
     }
 
     /// Snapshot phase of a reindex pass (shared lock): walks the subtree
@@ -488,15 +519,16 @@ impl HacState {
     /// Apply phase of a reindex pass (exclusive lock): classifies the
     /// tokenized deltas, verifies stale candidates against the live
     /// namespace (a rename may have moved them out of the subtree), applies
-    /// everything to the index in one batch, and returns the pass report
-    /// plus the dirty set. Deltas raced out by a concurrent eager index are
-    /// skipped.
+    /// everything to the index in one batch, and returns the pass report,
+    /// the dirty set, and the delta that actually landed (the payload a
+    /// durable store seals into one segment). Deltas raced out by a
+    /// concurrent eager index are skipped.
     pub fn apply_sync(
         &mut self,
         vfs: &Vfs,
         plan: &SyncPlan,
         docs: Vec<TokenizedDoc>,
-    ) -> (SyncReport, DirtySet) {
+    ) -> (SyncReport, DirtySet, AppliedDelta) {
         let mut report = SyncReport::default();
         let mut dirty = DirtySet::new();
         for (doc, path) in &plan.refresh_paths {
@@ -514,7 +546,9 @@ impl HacState {
                 continue;
             }
             match self.index.indexed_version(doc) {
-                // A concurrent eager index already holds newer content.
+                // A concurrent eager index already holds newer content:
+                // the delta would be a no-op, so it is neither applied nor
+                // sealed into the segment.
                 Some(v) if v >= td.delta.version => {}
                 prev => {
                     if prev.is_none() {
@@ -526,11 +560,12 @@ impl HacState {
                     }
                     dirty.absorb_tokens(&td.delta.tokens);
                     self.doc_paths.record(doc, &td.path);
+                    adds.push(td.delta);
                 }
             }
-            adds.push(td.delta);
         }
         let mut removes: Vec<DocId> = Vec::new();
+        let mut applied_removes: Vec<DocId> = Vec::new();
         for &doc in &plan.stale_candidates {
             match vfs.path_of(FileId(doc.0)) {
                 Ok(p) if p.starts_with(&plan.root) => removes.push(doc),
@@ -543,12 +578,17 @@ impl HacState {
             if self.index.is_indexed(doc) {
                 dirty.removed.insert(doc);
                 report.removed += 1;
+                applied_removes.push(doc);
             }
             self.doc_paths.forget(doc);
         }
         self.index.apply_delta(&adds, &removes);
         hac_obs::gauge("hac_reindex_dirty_docs", &[]).set(dirty.doc_count() as i64);
-        (report, dirty)
+        let applied = AppliedDelta {
+            adds,
+            removes: applied_removes,
+        };
+        (report, dirty, applied)
     }
 
     // ------------------------------------------------------------------
@@ -1286,8 +1326,11 @@ impl HacState {
     /// Rebuilds the doc→path map from the live namespace after the index
     /// was swapped in from persistence. Indexed docs that no longer exist
     /// anywhere are dropped immediately (they would otherwise dodge the
-    /// subtree-proportional stale sweep forever).
-    pub fn rebuild_doc_paths(&mut self, vfs: &Vfs) {
+    /// subtree-proportional stale sweep forever); the pruned ids are
+    /// returned so a durable store can commit the prune as a removal
+    /// segment — otherwise every future recovery would resurrect and
+    /// re-prune the same docs, drifting the generation lineage.
+    pub fn rebuild_doc_paths(&mut self, vfs: &Vfs) -> Vec<DocId> {
         self.doc_paths = DocPathMap::new();
         if let Ok(entries) = hac_vfs::walk(vfs, &VPath::root()) {
             for entry in entries {
@@ -1307,9 +1350,10 @@ impl HacState {
             .into_iter()
             .filter(|d| self.doc_paths.path_of(*d).is_none())
             .collect();
-        for doc in orphans {
-            self.index.remove_doc(doc);
+        for doc in &orphans {
+            self.index.remove_doc(*doc);
         }
+        orphans
     }
 
     /// Repairs symlinks whose target was renamed (data inconsistency (i) of
@@ -1606,10 +1650,11 @@ mod tests {
         state.deindex_file(id);
         vfs.unlink(&p("/d/f.txt")).unwrap();
 
-        let (report, dirty) = state.apply_sync(&vfs, &plan, docs);
+        let (report, dirty, applied) = state.apply_sync(&vfs, &plan, docs);
         assert_eq!(report.added, 0, "stale delta must not resurrect the doc");
         assert_eq!(report.updated, 0);
         assert!(dirty.added.is_empty() && dirty.updated.is_empty());
+        assert!(applied.is_empty(), "nothing landed, nothing to persist");
         assert!(!state.index.is_indexed(HacState::doc(id)));
         assert!(state.doc_paths.path_of(HacState::doc(id)).is_none());
     }

@@ -254,3 +254,59 @@ fn cascade_reuses_cached_results_on_unchanged_generation() {
     assert!(fs.exists(&p("/cache/memos/hit.txt")));
     assert!(fs.exists(&p("/cache/memos/more.txt")));
 }
+
+/// The durable-store side of the incremental pipeline: an apply phase
+/// seals everything it landed into exactly **one** segment, and a pass
+/// that lands nothing writes none.
+///
+/// The segment counter is process-global, so the store-less tests in this
+/// binary contribute zero to it and the deltas below stay exact.
+#[test]
+fn incremental_apply_writes_exactly_one_segment() {
+    let fs = HacFs::new();
+    fs.attach_store(std::sync::Arc::new(hac_store::MemStore::new()))
+        .unwrap();
+    fs.mkdir_p(&p("/seal/docs")).unwrap();
+    fs.save(&p("/seal/docs/a.txt"), b"alpha ledger entry")
+        .unwrap();
+    fs.save(&p("/seal/docs/b.txt"), b"beta ledger entry")
+        .unwrap();
+    fs.smkdir(&p("/seal/ledgers"), "ledger").unwrap();
+
+    // Cold pass: many docs, still one apply phase, still one segment.
+    let before = hac_obs::snapshot();
+    fs.ssync(&p("/")).unwrap();
+    let cold = hac_obs::snapshot();
+    assert_eq!(
+        counter_delta(&before, &cold, "hac_store_segments_written_total", &[]),
+        1,
+        "the cold apply phase must seal one segment"
+    );
+
+    // Warm pass on the untouched tree: nothing applied, nothing sealed.
+    fs.ssync(&p("/")).unwrap();
+    let warm = hac_obs::snapshot();
+    assert_eq!(
+        counter_delta(&cold, &warm, "hac_store_segments_written_total", &[]),
+        0,
+        "an empty apply phase may not write a segment"
+    );
+
+    // Incremental pass over a single dirty doc: exactly one more segment,
+    // regardless of how many semdirs the change cascades through.
+    fs.write_file(&p("/seal/docs/a.txt"), b"alpha ledger rewritten")
+        .unwrap();
+    let report = fs.ssync(&p("/")).unwrap();
+    let after = hac_obs::snapshot();
+    assert_eq!(report.updated, 1);
+    assert_eq!(
+        counter_delta(&warm, &after, "hac_store_segments_written_total", &[]),
+        1,
+        "the incremental apply phase must seal exactly one segment"
+    );
+
+    // The sealed trail is replayable: live segment count matches the
+    // number of apply phases that landed anything.
+    let status = fs.store_status().unwrap();
+    assert_eq!(status.segments_live, 2);
+}

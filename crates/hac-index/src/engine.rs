@@ -149,11 +149,12 @@ pub struct Index {
     /// Mutation epoch: bumped on every add/remove/rebuild. Cached query
     /// results keyed by this value are valid exactly while it is unchanged.
     ///
-    /// Adding this field changed the persisted layout: the snapshot codec
-    /// is positional, so index snapshots written by earlier versions fail
-    /// to decode. `HacFs::load_index` counts and logs that failure (the
-    /// cost is one full reindex), rather than silently pretending no
-    /// snapshot existed.
+    /// Adding this field changed the persisted layout once: the snapshot
+    /// codec is positional, so snapshots written before the field existed
+    /// fail to decode. Snapshots now carry a format-version header
+    /// (`hac-core`'s `SNAPSHOT_MAGIC`), so any future layout change bumps
+    /// that version and old snapshots degrade to a *counted* migration
+    /// (one logged full reindex) instead of a silent decode failure.
     generation: u64,
 }
 
@@ -296,6 +297,17 @@ impl Index {
             self.remove_doc(doc);
         }
         applied
+    }
+
+    /// Raises the mutation epoch to at least `generation`.
+    ///
+    /// Used by segment replay (`hac-index`'s [`segment`](crate::segment)
+    /// module): a recovered index must resume at the generation recorded
+    /// when the segment was sealed, so caches and dirty-tracking built
+    /// against the pre-crash index can never alias a recovered state.
+    /// Monotonic — a lower value is ignored.
+    pub fn force_generation(&mut self, generation: u64) {
+        self.generation = self.generation.max(generation);
     }
 
     /// Rebuilds the index from scratch out of `(doc, version, tokens)`

@@ -28,6 +28,7 @@ pub mod bitmap;
 pub mod engine;
 pub mod expr;
 pub mod lexicon;
+pub mod segment;
 pub mod token;
 pub mod transducer;
 
@@ -35,5 +36,6 @@ pub use bitmap::{Bitmap, DenseBitmap, DocId, SparseBitmap};
 pub use engine::{DocDelta, DocProvider, EvalStats, Granularity, Index, IndexStats};
 pub use expr::ContentExpr;
 pub use lexicon::{Lexicon, TermId};
+pub use segment::{Segment, SegmentDoc};
 pub use token::{tokenize_text, Token};
 pub use transducer::{Transducer, TransducerRegistry};

@@ -69,10 +69,7 @@ impl V1Server {
                     return;
                 }
                 let Ok(mut stream) = stream else { continue };
-                loop {
-                    let Ok(bytes) = wire::read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) else {
-                        break;
-                    };
+                while let Ok(bytes) = wire::read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
                     let req: V1Request = match hac_vfs::persist::decode_value(&bytes) {
                         Ok(r) => r,
                         Err(_) => {

@@ -84,7 +84,15 @@ impl Shell {
     }
 
     /// Shell over an existing file system (shared with other components).
+    /// If no durable index store is attached yet, one is attached over the
+    /// namespace's own reserved metadata area, so `ssync` passes commit
+    /// crash-atomic segments and snapshots warm-start through recovery.
     pub fn over(fs: Arc<HacFs>) -> Self {
+        if fs.store().is_none() {
+            let backend = Arc::new(hac_core::VfsStore::new(Arc::clone(fs.vfs())));
+            // Only fails on backend I/O; the in-VFS backend has none.
+            let _ = fs.attach_store(backend);
+        }
         Shell {
             fs,
             cwd: VPath::root(),
@@ -579,6 +587,47 @@ impl Shell {
                 }
                 _ => Err(ShellError::Usage("stats [--prom|--events]")),
             },
+            "store" => match args {
+                [word] if word == "status" => {
+                    let s = self.fs.store_status()?;
+                    Ok(format!(
+                        "manifest seq {}  base {}  segments {} ({} docs, {} B)\n\
+                         wal {} B  objects {} ({} B)\n",
+                        s.manifest_seq,
+                        if s.base_present { "yes" } else { "no" },
+                        s.segments_live,
+                        s.segment_docs,
+                        s.segment_bytes,
+                        s.wal_bytes,
+                        s.objects,
+                        s.object_bytes,
+                    ))
+                }
+                [word, rest @ ..] if word == "gc" && rest.len() <= 1 => {
+                    let grace = match rest {
+                        [g] => g
+                            .parse::<u64>()
+                            .map_err(|_| ShellError::Usage("store gc [grace]"))?,
+                        _ => 0,
+                    };
+                    let report = self.fs.store_gc(grace)?;
+                    Ok(format!(
+                        "removed {} unreferenced objects ({} B)\n",
+                        report.removed, report.bytes
+                    ))
+                }
+                [word] if word == "checkpoint" => {
+                    self.fs.persist_index()?;
+                    let s = self.fs.store_status()?;
+                    Ok(format!(
+                        "checkpointed: manifest seq {}, {} segments live\n",
+                        s.manifest_seq, s.segments_live
+                    ))
+                }
+                _ => Err(ShellError::Usage(
+                    "store status | store gc [grace] | store checkpoint",
+                )),
+            },
             other => Err(ShellError::UnknownCommand(other.to_string())),
         }
     }
@@ -646,6 +695,7 @@ network     : serve <addr> <ns> [dir] | serve stop | serve status | \
 mount <dir> tcp://host:port/ns
 observe     : obs-serve <addr>|stop|status | trace <id> | \
 stats [--prom|--events]
+durability  : store status | store gc [grace] | store checkpoint
 other       : mounts <dir> | help
 ";
 
@@ -809,6 +859,22 @@ mod tests {
         assert!(sh.exec("stats").unwrap().contains("docs 2"));
         assert!(sh.exec("help").unwrap().contains("smkdir"));
         assert_eq!(sh.exec("").unwrap(), "");
+    }
+
+    #[test]
+    fn store_commands() {
+        let mut sh = sh(); // sh() ran one ssync over two docs
+        let status = sh.exec("store status").unwrap();
+        assert!(status.contains("segments 1 (2 docs"), "{status}");
+        // Checkpoint folds the run into a base snapshot...
+        let checkpointed = sh.exec("store checkpoint").unwrap();
+        assert!(checkpointed.contains("0 segments live"), "{checkpointed}");
+        assert!(sh.exec("store status").unwrap().contains("base yes"));
+        // ...leaving the superseded segment + manifests for gc.
+        let swept = sh.exec("store gc 0").unwrap();
+        assert!(!swept.starts_with("removed 0"), "{swept}");
+        assert!(sh.exec("store gc 0").unwrap().starts_with("removed 0"));
+        assert!(matches!(sh.exec("store bogus"), Err(ShellError::Usage(_))));
     }
 }
 

@@ -69,8 +69,7 @@ fn one_trace_id_spans_client_and_server_and_is_served_over_http() {
     let client = events
         .iter()
         .filter(|e| e.name == "net_client_request")
-        .filter(|e| e.fields.iter().any(|(k, v)| k == "op" && v == "search"))
-        .last()
+        .rfind(|e| e.fields.iter().any(|(k, v)| k == "op" && v == "search"))
         .expect("client request span recorded");
     let trace_id = client.trace_id.expect("client span carries a trace id");
     let client_span = client.span_id.expect("client span has a span id");

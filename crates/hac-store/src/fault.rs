@@ -1,0 +1,239 @@
+//! Crash injection for recovery testing.
+//!
+//! [`FaultStore`] wraps any [`ContentStore`] and counts *mutating*
+//! operations. When the count reaches a chosen budget the store
+//! "crashes": that operation either fails cleanly or — in
+//! [`CrashStyle::Torn`] — leaves a deliberately partial effect first
+//! (half-written WAL append, truncated object at its real address), and
+//! every operation afterwards fails with [`StoreError::Crashed`]. That
+//! is the SIGKILL model: the process dies mid-commit and nothing else it
+//! would have done happens.
+//!
+//! Recovery is then exercised by opening the *inner* store directly —
+//! the durable state that survived the "machine" — and asserting the
+//! replay path reconstructs a consistent index.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crate::hash::ContentHash;
+use crate::store::{ContentStore, ObjectInfo, StoreError, StoreResult};
+
+/// What the crashing operation leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// The operation has no effect at all (power cut before any write).
+    Fail,
+    /// The operation leaves a *partial* effect where the medium allows
+    /// one: a WAL append keeps only its first half, an object put lands
+    /// truncated bytes at the correct address. Atomic operations
+    /// (ref swap, reset, remove) cannot tear and behave like [`Fail`].
+    Torn,
+}
+
+/// A [`ContentStore`] wrapper that kills the handle after a fixed number
+/// of mutating operations. Reads pass through until the crash.
+pub struct FaultStore {
+    inner: Arc<dyn ContentStore>,
+    /// Mutations remaining before the crash. Negative = unlimited.
+    budget: AtomicI64,
+    style: CrashStyle,
+    crashed: AtomicBool,
+    mutations: AtomicI64,
+}
+
+impl FaultStore {
+    /// Crash after `budget` further mutating operations succeed (the
+    /// `budget+1`-th mutation is the one that dies).
+    pub fn new(inner: Arc<dyn ContentStore>, budget: u64, style: CrashStyle) -> FaultStore {
+        FaultStore {
+            inner,
+            budget: AtomicI64::new(budget as i64),
+            style,
+            crashed: AtomicBool::new(false),
+            mutations: AtomicI64::new(0),
+        }
+    }
+
+    /// A pass-through wrapper that never crashes but still counts
+    /// mutations — run the workload once through this to learn how many
+    /// budgets are worth iterating.
+    pub fn counting(inner: Arc<dyn ContentStore>) -> FaultStore {
+        FaultStore {
+            inner,
+            budget: AtomicI64::new(-1),
+            style: CrashStyle::Fail,
+            crashed: AtomicBool::new(false),
+            mutations: AtomicI64::new(0),
+        }
+    }
+
+    /// Total mutating operations attempted through this handle.
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Gate a mutating op: `Ok(())` to proceed, `Err` if this op crashes
+    /// (after `tear` ran against the inner store, for torn media).
+    fn gate(&self, tear: impl FnOnce(&dyn ContentStore)) -> StoreResult<()> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(StoreError::Crashed);
+        }
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        let remaining = self.budget.load(Ordering::Relaxed);
+        if remaining < 0 {
+            return Ok(()); // unlimited
+        }
+        if remaining == 0 {
+            self.crashed.store(true, Ordering::Relaxed);
+            if self.style == CrashStyle::Torn {
+                tear(&*self.inner);
+            }
+            return Err(StoreError::Crashed);
+        }
+        self.budget.store(remaining - 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn check_alive(&self) -> StoreResult<()> {
+        if self.crashed.load(Ordering::Relaxed) {
+            Err(StoreError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl ContentStore for FaultStore {
+    fn put(&self, bytes: &[u8]) -> StoreResult<ContentHash> {
+        let hash = ContentHash::of(bytes);
+        self.gate(|inner| {
+            // Torn put: truncated bytes land at the *real* address, so
+            // recovery must catch them via content verification.
+            let _ = inner.put_raw(hash, &bytes[..bytes.len() / 2]);
+        })?;
+        self.inner.put(bytes)
+    }
+
+    fn put_raw(&self, hash: ContentHash, bytes: &[u8]) -> StoreResult<()> {
+        self.gate(|inner| {
+            let _ = inner.put_raw(hash, &bytes[..bytes.len() / 2]);
+        })?;
+        self.inner.put_raw(hash, bytes)
+    }
+
+    fn get(&self, hash: ContentHash) -> StoreResult<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.get(hash)
+    }
+
+    fn contains(&self, hash: ContentHash) -> StoreResult<bool> {
+        self.check_alive()?;
+        self.inner.contains(hash)
+    }
+
+    fn remove(&self, hash: ContentHash) -> StoreResult<bool> {
+        self.gate(|_| {})?;
+        self.inner.remove(hash)
+    }
+
+    fn objects(&self) -> StoreResult<Vec<ObjectInfo>> {
+        self.check_alive()?;
+        self.inner.objects()
+    }
+
+    fn set_ref(&self, name: &str, hash: ContentHash) -> StoreResult<()> {
+        self.gate(|_| {})?; // ref swap is atomic: it happens or it doesn't
+        self.inner.set_ref(name, hash)
+    }
+
+    fn get_ref(&self, name: &str) -> StoreResult<Option<ContentHash>> {
+        self.check_alive()?;
+        self.inner.get_ref(name)
+    }
+
+    fn wal_load(&self) -> StoreResult<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.wal_load()
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> StoreResult<()> {
+        self.gate(|inner| {
+            let _ = inner.wal_append(&bytes[..bytes.len() / 2]);
+        })?;
+        self.inner.wal_append(bytes)
+    }
+
+    fn wal_reset(&self) -> StoreResult<()> {
+        self.gate(|_| {})?;
+        self.inner.wal_reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    #[test]
+    fn budget_counts_down_then_kills_everything() {
+        let inner = Arc::new(MemStore::new());
+        let faulty = FaultStore::new(inner.clone(), 2, CrashStyle::Fail);
+
+        faulty.put(b"one").unwrap();
+        faulty.put(b"two").unwrap();
+        assert!(matches!(faulty.put(b"three"), Err(StoreError::Crashed)));
+        assert!(faulty.has_crashed());
+        // Dead handle: reads fail too.
+        assert!(matches!(faulty.wal_load(), Err(StoreError::Crashed)));
+        assert!(matches!(
+            faulty.get(ContentHash::of(b"one")),
+            Err(StoreError::Crashed)
+        ));
+        // The durable medium survives with only the pre-crash writes.
+        assert_eq!(inner.get(ContentHash::of(b"one")).unwrap(), b"one");
+        assert!(!inner.contains(ContentHash::of(b"three")).unwrap());
+        assert_eq!(faulty.mutations(), 3);
+    }
+
+    #[test]
+    fn torn_put_leaves_corrupt_object_at_real_address() {
+        let inner = Arc::new(MemStore::new());
+        let faulty = FaultStore::new(inner.clone(), 0, CrashStyle::Torn);
+        assert!(faulty.put(b"a segment worth of bytes").is_err());
+        let addr = ContentHash::of(b"a segment worth of bytes");
+        assert!(inner.contains(addr).unwrap());
+        assert!(matches!(inner.get(addr), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn torn_wal_append_keeps_half() {
+        let inner = Arc::new(MemStore::new());
+        let faulty = FaultStore::new(inner.clone(), 0, CrashStyle::Torn);
+        assert!(faulty.wal_append(b"0123456789").is_err());
+        assert_eq!(inner.wal_load().unwrap(), b"01234");
+    }
+
+    #[test]
+    fn fail_style_crash_has_no_effect() {
+        let inner = Arc::new(MemStore::new());
+        let faulty = FaultStore::new(inner.clone(), 0, CrashStyle::Fail);
+        assert!(faulty.wal_append(b"0123456789").is_err());
+        assert!(inner.wal_load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn counting_mode_never_crashes() {
+        let faulty = FaultStore::counting(Arc::new(MemStore::new()));
+        for i in 0..100u32 {
+            faulty.put(&i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(faulty.mutations(), 100);
+        assert!(!faulty.has_crashed());
+    }
+}

@@ -1,0 +1,213 @@
+//! Content hashing.
+//!
+//! Every object in a [`ContentStore`](crate::ContentStore) is addressed
+//! by the hash of its bytes, so the hash *is* the identity: two equal
+//! blobs are one object, a corrupted blob no longer matches its own
+//! address, and replication (ship-segments-by-hash) needs no coordination.
+//!
+//! The digest is SHA-256, implemented here from the FIPS 180-4
+//! specification because this build environment vendors no external
+//! crates. Only the fixed-size one-shot interface is exposed; the store
+//! never needs streaming.
+
+use std::fmt;
+
+/// The 256-bit content address of an object.
+///
+/// Displayed and parsed as 64 lowercase hex digits. The first two digits
+/// ([`prefix`](ContentHash::prefix)) shard the object directory so no
+/// single directory grows unboundedly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl ContentHash {
+    /// Hash a byte string.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        ContentHash(sha256(bytes))
+    }
+
+    /// The two-hex-digit directory shard (`objects/{prefix}/{rest}`).
+    pub fn prefix(&self) -> String {
+        format!("{:02x}", self.0[0])
+    }
+
+    /// The remaining 62 hex digits (the file name inside the shard).
+    pub fn remainder(&self) -> String {
+        let mut s = String::with_capacity(62);
+        for b in &self.0[1..] {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Full 64-digit lowercase hex form.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parse the 64-digit hex form produced by [`to_hex`](Self::to_hex).
+    pub fn parse(s: &str) -> Option<ContentHash> {
+        let s = s.as_bytes();
+        if s.len() != 64 {
+            return None;
+        }
+        let nib = |c: u8| -> Option<u8> {
+            match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                b'A'..=b'F' => Some(c - b'A' + 10),
+                _ => None,
+            }
+        };
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.chunks(2).enumerate() {
+            out[i] = nib(chunk[0])? << 4 | nib(chunk[1])?;
+        }
+        Some(ContentHash(out))
+    }
+
+    /// The first 8 bytes of the digest, for compact record checksums.
+    pub fn short(&self) -> [u8; 8] {
+        let mut s = [0u8; 8];
+        s.copy_from_slice(&self.0[..8]);
+        s
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({}…)", &self.to_hex()[..12])
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// One-shot SHA-256 (FIPS 180-4).
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Pad: message || 0x80 || zeros || 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        ContentHash::of(bytes).to_hex()
+    }
+
+    #[test]
+    fn fips_test_vectors() {
+        assert_eq!(
+            hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Multi-block message (len > 64).
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&million_a),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip_and_shard() {
+        let h = ContentHash::of(b"segment 42");
+        assert_eq!(ContentHash::parse(&h.to_hex()), Some(h));
+        assert_eq!(h.prefix().len(), 2);
+        assert_eq!(h.remainder().len(), 62);
+        assert_eq!(format!("{}{}", h.prefix(), h.remainder()), h.to_hex());
+        assert!(ContentHash::parse("zz").is_none());
+        assert!(ContentHash::parse(&"0".repeat(63)).is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # hac-store — content-addressed segment storage for the HAC index
+//!
+//! The durability layer under [`hac-index`]: an LSM-flavoured design
+//! where the index on "disk" is
+//!
+//! * an optional **base** object (full index snapshot),
+//! * an ordered run of immutable **segment** objects (delta logs sealed
+//!   from `ssync` tokenize batches),
+//! * a **manifest** object listing both by content hash,
+//! * one mutable **ref** (`current`) naming the live manifest, and
+//! * a **WAL** that makes the multi-object commit crash-atomic.
+//!
+//! Everything immutable is addressed by the SHA-256 of its bytes
+//! ([`ContentHash`]), which buys idempotent writes, corruption detection
+//! on read, and — later — replication by shipping hashes. This crate is
+//! storage only: it knows bytes, hashes, manifests, and logs. What the
+//! bytes *mean* (segments, snapshots) lives in `hac-index`; the commit
+//! and recovery protocol lives in `hac-core`.
+//!
+//! The commit protocol, for reference (each step durable before the next):
+//!
+//! 1. frame the sealed segment into the WAL ([`wal::encode_record`]);
+//! 2. `put` the segment object;
+//! 3. `put` a new manifest listing it;
+//! 4. `set_ref("current", manifest)` — the commit point;
+//! 5. `wal_reset`.
+//!
+//! A crash before 4 leaves `current` on the old manifest and the delta
+//! in the WAL (replayable); a crash after 4 has already committed; a
+//! torn WAL tail from a crash inside 1 is dropped by the tolerant
+//! reader and re-derived by the next sync pass. Unreferenced objects
+//! left by any crash are garbage, swept by grace-period GC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod hash;
+pub mod manifest;
+pub mod store;
+pub mod wal;
+
+pub use fault::{CrashStyle, FaultStore};
+pub use hash::{sha256, ContentHash};
+pub use manifest::{Manifest, SegmentEntry, MANIFEST_MAGIC, MANIFEST_VERSION};
+pub use store::{ContentStore, FileStore, MemStore, ObjectInfo, StoreError, StoreResult};
+pub use wal::{decode_records, encode_record, WalScan};

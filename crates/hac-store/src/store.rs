@@ -1,0 +1,524 @@
+//! The content-addressed object store.
+//!
+//! A [`ContentStore`] keeps three kinds of state:
+//!
+//! * **objects** — immutable blobs addressed by [`ContentHash`]. Writes
+//!   are idempotent; reads re-hash the bytes so corruption is detected
+//!   at the moment it matters, not at scrub time.
+//! * **refs** — tiny mutable name → hash pointers (`current` points at
+//!   the live manifest). Updating a ref is the only mutation the commit
+//!   protocol depends on being atomic.
+//! * **wal** — a single append-only byte log consumed by
+//!   [`crate::wal`]'s record framing. It makes the multi-object commit
+//!   (segment + manifest + ref swap) atomic-in-effect: a crash between
+//!   any two steps leaves the delta replayable from the log.
+//!
+//! Two implementations ship here: [`FileStore`] on a real directory
+//! (tmp+rename writes, fsync discipline) and [`MemStore`] for tests and
+//! for embedding behind other byte substrates.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use crate::hash::ContentHash;
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// No object with that hash.
+    NotFound(ContentHash),
+    /// No ref with that name.
+    RefNotFound(String),
+    /// Stored bytes no longer hash to their address, or a manifest /
+    /// record failed structural validation.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(String),
+    /// A fault injector has "killed the process": every subsequent
+    /// operation on this handle fails with this error.
+    Crashed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(h) => write!(f, "object not found: {h}"),
+            StoreError::RefNotFound(n) => write!(f, "ref not found: {n}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store data: {m}"),
+            StoreError::Io(m) => write!(f, "store i/o error: {m}"),
+            StoreError::Crashed => write!(f, "store handle crashed by fault injection"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// A stored object's identity and bookkeeping, as reported by
+/// [`ContentStore::objects`].
+#[derive(Debug, Clone)]
+pub struct ObjectInfo {
+    /// The object's content address.
+    pub hash: ContentHash,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Age in backend-native units (seconds for [`FileStore`], write
+    /// ticks for [`MemStore`]). Only compared against a grace period of
+    /// the same unit, so the unit never leaves the backend.
+    pub age: u64,
+}
+
+/// The storage abstraction the index engine persists through.
+///
+/// All methods take `&self`; implementations are internally
+/// synchronized. Object writes must be atomic (all-or-nothing visible)
+/// and `set_ref` must atomically replace the pointer; the WAL is the
+/// only append-in-place structure and its reader tolerates torn tails.
+pub trait ContentStore: Send + Sync {
+    /// Store a blob, returning its address. Idempotent.
+    fn put(&self, bytes: &[u8]) -> StoreResult<ContentHash>;
+
+    /// Store a blob at a caller-asserted address *without* verifying
+    /// that the bytes hash to it. This is the trusted-write path for
+    /// replication (the sender already hashed) and for fault injection
+    /// (placing deliberately torn bytes at a real address). [`get`]
+    /// still verifies, so a lying `put_raw` is caught on read.
+    ///
+    /// [`get`]: ContentStore::get
+    fn put_raw(&self, hash: ContentHash, bytes: &[u8]) -> StoreResult<()>;
+
+    /// Fetch a blob and verify it still hashes to its address.
+    fn get(&self, hash: ContentHash) -> StoreResult<Vec<u8>>;
+
+    /// Whether an object exists (no integrity check).
+    fn contains(&self, hash: ContentHash) -> StoreResult<bool>;
+
+    /// Remove an object if present; `Ok(true)` if something was removed.
+    fn remove(&self, hash: ContentHash) -> StoreResult<bool>;
+
+    /// Enumerate every stored object (for GC and status).
+    fn objects(&self) -> StoreResult<Vec<ObjectInfo>>;
+
+    /// Atomically point `name` at `hash`.
+    fn set_ref(&self, name: &str, hash: ContentHash) -> StoreResult<()>;
+
+    /// Read a ref, `Ok(None)` if it was never set.
+    fn get_ref(&self, name: &str) -> StoreResult<Option<ContentHash>>;
+
+    /// Read the whole WAL (empty vec if none).
+    fn wal_load(&self) -> StoreResult<Vec<u8>>;
+
+    /// Durably append bytes to the WAL.
+    fn wal_append(&self, bytes: &[u8]) -> StoreResult<()>;
+
+    /// Truncate the WAL to empty.
+    fn wal_reset(&self) -> StoreResult<()>;
+}
+
+/// Process-unique suffix for temp files so concurrent writers never
+/// collide even on the same hash.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A [`ContentStore`] over a real directory tree:
+///
+/// ```text
+/// root/objects/{2-hex}/{62-hex}   immutable blobs
+/// root/refs/{name}                hex hash, one line
+/// root/wal                        append-only record log
+/// root/tmp/                       staging for atomic renames
+/// ```
+///
+/// Every object and ref write goes tmp → fsync(file) → rename →
+/// fsync(parent dir), so a visible object is always complete. WAL
+/// appends fsync before returning.
+pub struct FileStore {
+    root: PathBuf,
+}
+
+impl FileStore {
+    /// Open (creating directories as needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> StoreResult<FileStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("refs"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(FileStore { root })
+    }
+
+    /// Absolute path of the object with this hash.
+    pub fn object_path(&self, hash: ContentHash) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(hash.prefix())
+            .join(hash.remainder())
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.root.join("wal")
+    }
+
+    fn fsync_dir(dir: &Path) -> StoreResult<()> {
+        // Directory fsync is what makes the rename itself durable.
+        fs::File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    fn atomic_write(&self, dest: &Path, bytes: &[u8]) -> StoreResult<()> {
+        let parent = dest
+            .parent()
+            .ok_or_else(|| StoreError::Io("destination has no parent".into()))?;
+        fs::create_dir_all(parent)?;
+        let tmp = self.root.join("tmp").join(format!(
+            "w{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, dest)?;
+        Self::fsync_dir(parent)?;
+        Ok(())
+    }
+}
+
+impl ContentStore for FileStore {
+    fn put(&self, bytes: &[u8]) -> StoreResult<ContentHash> {
+        let hash = ContentHash::of(bytes);
+        let dest = self.object_path(hash);
+        // Idempotent, but *healing*: an existing object that no longer
+        // matches its address (torn write at a real address) is rewritten,
+        // not trusted — otherwise recovery's re-put of a WAL record could
+        // leave a corrupt object live under a fresh manifest.
+        if fs::read(&dest).ok().as_deref() != Some(bytes) {
+            self.atomic_write(&dest, bytes)?;
+        }
+        Ok(hash)
+    }
+
+    fn put_raw(&self, hash: ContentHash, bytes: &[u8]) -> StoreResult<()> {
+        self.atomic_write(&self.object_path(hash), bytes)
+    }
+
+    fn get(&self, hash: ContentHash) -> StoreResult<Vec<u8>> {
+        let path = self.object_path(hash);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(hash))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if ContentHash::of(&bytes) != hash {
+            return Err(StoreError::Corrupt(format!(
+                "object {hash} fails content verification"
+            )));
+        }
+        Ok(bytes)
+    }
+
+    fn contains(&self, hash: ContentHash) -> StoreResult<bool> {
+        Ok(self.object_path(hash).exists())
+    }
+
+    fn remove(&self, hash: ContentHash) -> StoreResult<bool> {
+        let path = self.object_path(hash);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn objects(&self) -> StoreResult<Vec<ObjectInfo>> {
+        let mut out = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            let prefix = shard.file_name().to_string_lossy().into_owned();
+            for entry in fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(hash) = ContentHash::parse(&format!("{prefix}{name}")) else {
+                    continue;
+                };
+                let meta = entry.metadata()?;
+                let age = meta
+                    .modified()
+                    .ok()
+                    .and_then(|m| SystemTime::now().duration_since(m).ok())
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                out.push(ObjectInfo {
+                    hash,
+                    bytes: meta.len(),
+                    age,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn set_ref(&self, name: &str, hash: ContentHash) -> StoreResult<()> {
+        self.atomic_write(&self.root.join("refs").join(name), hash.to_hex().as_bytes())
+    }
+
+    fn get_ref(&self, name: &str) -> StoreResult<Option<ContentHash>> {
+        let path = self.root.join("refs").join(name);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        ContentHash::parse(text.trim())
+            .map(Some)
+            .ok_or_else(|| StoreError::Corrupt(format!("ref {name} is not a hash")))
+    }
+
+    fn wal_load(&self) -> StoreResult<Vec<u8>> {
+        match fs::read(self.wal_path()) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> StoreResult<()> {
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.wal_path())?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn wal_reset(&self) -> StoreResult<()> {
+        match fs::remove_file(self.wal_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Self::fsync_dir(&self.root)
+    }
+}
+
+#[derive(Default)]
+struct MemInner {
+    objects: HashMap<ContentHash, (Vec<u8>, u64)>,
+    refs: HashMap<String, ContentHash>,
+    wal: Vec<u8>,
+    /// Logical write clock; object "age" is measured in these ticks.
+    tick: u64,
+}
+
+/// An in-memory [`ContentStore`] for tests and fault-injection
+/// harnesses. Object age is counted in write ticks, so `gc(grace)`
+/// semantics are exercised deterministically.
+#[derive(Default)]
+pub struct MemStore {
+    inner: Mutex<MemInner>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl ContentStore for MemStore {
+    fn put(&self, bytes: &[u8]) -> StoreResult<ContentHash> {
+        let hash = ContentHash::of(bytes);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Heal a mismatched (torn) object rather than trusting presence.
+        match inner.objects.get(&hash) {
+            Some((existing, _)) if existing == bytes => {}
+            _ => {
+                inner.objects.insert(hash, (bytes.to_vec(), tick));
+            }
+        }
+        Ok(hash)
+    }
+
+    fn put_raw(&self, hash: ContentHash, bytes: &[u8]) -> StoreResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.objects.insert(hash, (bytes.to_vec(), tick));
+        Ok(())
+    }
+
+    fn get(&self, hash: ContentHash) -> StoreResult<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        let (bytes, _) = inner.objects.get(&hash).ok_or(StoreError::NotFound(hash))?;
+        if ContentHash::of(bytes) != hash {
+            return Err(StoreError::Corrupt(format!(
+                "object {hash} fails content verification"
+            )));
+        }
+        Ok(bytes.clone())
+    }
+
+    fn contains(&self, hash: ContentHash) -> StoreResult<bool> {
+        Ok(self.inner.lock().unwrap().objects.contains_key(&hash))
+    }
+
+    fn remove(&self, hash: ContentHash) -> StoreResult<bool> {
+        Ok(self.inner.lock().unwrap().objects.remove(&hash).is_some())
+    }
+
+    fn objects(&self) -> StoreResult<Vec<ObjectInfo>> {
+        let inner = self.inner.lock().unwrap();
+        let now = inner.tick;
+        Ok(inner
+            .objects
+            .iter()
+            .map(|(hash, (bytes, tick))| ObjectInfo {
+                hash: *hash,
+                bytes: bytes.len() as u64,
+                age: now.saturating_sub(*tick),
+            })
+            .collect())
+    }
+
+    fn set_ref(&self, name: &str, hash: ContentHash) -> StoreResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        inner.refs.insert(name.to_string(), hash);
+        Ok(())
+    }
+
+    fn get_ref(&self, name: &str) -> StoreResult<Option<ContentHash>> {
+        Ok(self.inner.lock().unwrap().refs.get(name).copied())
+    }
+
+    fn wal_load(&self) -> StoreResult<Vec<u8>> {
+        Ok(self.inner.lock().unwrap().wal.clone())
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> StoreResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        inner.wal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn wal_reset(&self) -> StoreResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        inner.wal.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ContentStore) {
+        // put / get / contains / idempotence.
+        let h = store.put(b"hello segment").unwrap();
+        assert_eq!(h, ContentHash::of(b"hello segment"));
+        assert_eq!(store.get(h).unwrap(), b"hello segment");
+        assert!(store.contains(h).unwrap());
+        assert_eq!(store.put(b"hello segment").unwrap(), h);
+
+        // Missing object.
+        let missing = ContentHash::of(b"never stored");
+        assert!(matches!(store.get(missing), Err(StoreError::NotFound(_))));
+        assert!(!store.contains(missing).unwrap());
+
+        // put_raw lies, get catches it.
+        let fake = ContentHash::of(b"claimed content");
+        store.put_raw(fake, b"actual different bytes").unwrap();
+        assert!(matches!(store.get(fake), Err(StoreError::Corrupt(_))));
+
+        // Refs.
+        assert_eq!(store.get_ref("current").unwrap(), None);
+        store.set_ref("current", h).unwrap();
+        assert_eq!(store.get_ref("current").unwrap(), Some(h));
+        let h2 = store.put(b"second").unwrap();
+        store.set_ref("current", h2).unwrap();
+        assert_eq!(store.get_ref("current").unwrap(), Some(h2));
+
+        // WAL.
+        assert!(store.wal_load().unwrap().is_empty());
+        store.wal_append(b"rec1").unwrap();
+        store.wal_append(b"rec2").unwrap();
+        assert_eq!(store.wal_load().unwrap(), b"rec1rec2");
+        store.wal_reset().unwrap();
+        assert!(store.wal_load().unwrap().is_empty());
+
+        // Enumeration + removal.
+        let listed = store.objects().unwrap();
+        assert!(listed.iter().any(|o| o.hash == h));
+        assert!(listed.iter().any(|o| o.hash == h2));
+        assert!(store.remove(h2).unwrap());
+        assert!(!store.remove(h2).unwrap());
+        assert!(!store.contains(h2).unwrap());
+    }
+
+    #[test]
+    fn memstore_contract() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn filestore_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "hac-store-test-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = FileStore::open(&dir).unwrap();
+        exercise(&store);
+
+        // Layout: objects/{2-hex}/{62-hex}.
+        let h = store.put(b"layout check").unwrap();
+        let path = store.object_path(h);
+        assert!(path.ends_with(Path::new("objects").join(h.prefix()).join(h.remainder())));
+        assert!(path.exists());
+
+        // On-disk corruption is caught at read time.
+        fs::write(&path, b"scribbled over").unwrap();
+        assert!(matches!(store.get(h), Err(StoreError::Corrupt(_))));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memstore_ages_advance_with_writes() {
+        let store = MemStore::new();
+        let old = store.put(b"old").unwrap();
+        for i in 0..5u8 {
+            store.put(&[i]).unwrap();
+        }
+        let new = store.put(b"new").unwrap();
+        let objects = store.objects().unwrap();
+        let age = |h: ContentHash| objects.iter().find(|o| o.hash == h).unwrap().age;
+        assert!(age(old) > age(new));
+        assert_eq!(age(new), 0);
+    }
+}
