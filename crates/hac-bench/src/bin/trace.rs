@@ -103,6 +103,14 @@ fn main() {
     let reindex_off = reindex_p50(&fs, passes);
     hac_obs::set_tracing_enabled(true);
 
+    // Sampler overhead: the same traced query workload with the
+    // time-series sampler snapshotting the whole registry every 10 ms
+    // in the background (100x the production default rate). Compared
+    // against the traced baseline — the delta is what the windowed
+    // rate/percentile layer costs the hot path.
+    hac_obs::start_sampler(Duration::from_millis(10));
+    let query_sampled = query_p50(&fs, queries);
+
     let overhead = |on: Duration, off: Duration| (us(on) - us(off)) / us(off).max(1e-9) * 100.0;
     println!("Tracing overhead bench ({files} files, {queries} queries, {passes} passes)");
     println!(
@@ -117,16 +125,23 @@ fn main() {
         us(reindex_off),
         overhead(reindex_on, reindex_off)
     );
+    println!(
+        "  query   p50 with 10ms sampler: {:>9.1} us   overhead vs traced {:+.1}%",
+        us(query_sampled),
+        overhead(query_sampled, query_on)
+    );
 
     let out = arg_str("out").unwrap_or_else(|| "BENCH_trace.json".to_string());
     let json = format!(
-        "{{\n  \"bench\": \"trace\",\n  \"smoke\": {smoke},\n  \"files\": {files},\n  \"queries\": {queries},\n  \"reindex_passes\": {passes},\n  \"query_p50_traced_us\": {:.1},\n  \"query_p50_untraced_us\": {:.1},\n  \"query_overhead_pct\": {:.1},\n  \"reindex_p50_traced_us\": {:.1},\n  \"reindex_p50_untraced_us\": {:.1},\n  \"reindex_overhead_pct\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"trace\",\n  \"smoke\": {smoke},\n  \"files\": {files},\n  \"queries\": {queries},\n  \"reindex_passes\": {passes},\n  \"query_p50_traced_us\": {:.1},\n  \"query_p50_untraced_us\": {:.1},\n  \"query_overhead_pct\": {:.1},\n  \"reindex_p50_traced_us\": {:.1},\n  \"reindex_p50_untraced_us\": {:.1},\n  \"reindex_overhead_pct\": {:.1},\n  \"query_p50_sampled_us\": {:.1},\n  \"sampler_overhead_pct\": {:.1}\n}}\n",
         us(query_on),
         us(query_off),
         overhead(query_on, query_off),
         us(reindex_on),
         us(reindex_off),
         overhead(reindex_on, reindex_off),
+        us(query_sampled),
+        overhead(query_sampled, query_on),
     );
     std::fs::write(&out, json).expect("write BENCH_trace.json");
     println!("\nsnapshot: {out}");

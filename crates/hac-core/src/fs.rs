@@ -116,7 +116,7 @@ impl HacFs {
 
     /// Current configuration.
     pub fn config(&self) -> HacConfig {
-        self.state.read().config
+        self.state.read().config.clone()
     }
 
     // ------------------------------------------------------------------

@@ -91,7 +91,7 @@ pub fn decode_target(s: &str) -> Option<LinkTarget> {
 }
 
 /// Tuning knobs of a [`crate::HacFs`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HacConfig {
     /// Index granularity for the CBA mechanism.
     pub granularity: Granularity,
@@ -116,6 +116,14 @@ pub struct HacConfig {
     /// daemon's maintenance tick merges a run (bounds recovery replay
     /// length and read amplification). Ignored when no store is attached.
     pub store_merge_threshold: usize,
+    /// Declarative service-level objectives, installed into the global
+    /// SLO engine when the reindex daemon or a `HacServer` starts. Each is
+    /// the parsed form of one spec line like
+    /// `query-latency: hac_query_eval_duration_us p99 < 5ms over 60s`.
+    pub slos: Vec<hac_obs::SloSpec>,
+    /// Interval of the background metrics sampler (milliseconds) started
+    /// by the daemon / server; also paces the scrape-pull fallback.
+    pub sample_interval_ms: u64,
 }
 
 impl Default for HacConfig {
@@ -127,6 +135,8 @@ impl Default for HacConfig {
             sparse_results: false,
             reindex_threads: 0,
             store_merge_threshold: 8,
+            slos: hac_obs::SloSpec::default_set(),
+            sample_interval_ms: hac_obs::DEFAULT_SAMPLE_INTERVAL_MS,
         }
     }
 }

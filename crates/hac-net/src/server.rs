@@ -134,6 +134,9 @@ impl HacServer {
     ) -> io::Result<HacServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // A serving process is an operational one: make sure the windowed
+        // time-series layer is sampling (first starter wins; no-op later).
+        hac_obs::start_sampler(Duration::from_millis(hac_obs::DEFAULT_SAMPLE_INTERVAL_MS));
         let mut map: BTreeMap<String, Arc<dyn RemoteQuerySystem>> = BTreeMap::new();
         for b in backends {
             map.entry(b.namespace().0).or_insert(b);

@@ -5,18 +5,23 @@
 //! same shape as the `hac-net` request server) — that exposes the global
 //! [`Obs`](crate::Obs) domain for scrapers and humans:
 //!
-//! | endpoint        | payload                                            |
-//! |-----------------|----------------------------------------------------|
-//! | `/metrics`      | Prometheus text exposition (with `# TYPE` lines)   |
-//! | `/healthz`      | `ok` once the listener is up                       |
-//! | `/statusz`      | caller-supplied status JSON (daemon/server/mounts) |
-//! | `/events`       | recent-events ring as a JSON array                 |
-//! | `/slow`         | slow-op log as a JSON array                        |
-//! | `/trace/<id>`   | assembled span tree for one trace id, JSON         |
+//! | endpoint        | payload                                              |
+//! |-----------------|------------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (`# HELP`/`# TYPE` lines) |
+//! | `/healthz`      | `ok` once the listener is up                         |
+//! | `/statusz`      | caller-supplied status JSON (daemon/server/mounts)   |
+//! | `/events`       | recent-events ring as a JSON array                   |
+//! | `/slow`         | slow-op log as a JSON array                          |
+//! | `/trace/<id>`   | assembled span tree for one trace id, JSON           |
+//! | `/timeseries`   | windowed series (`?metric=<name>&window=<secs>`)     |
+//! | `/alerts`       | SLO objective states + transition history, JSON      |
 //!
-//! Only `GET` is served; every response closes the connection. No
-//! external dependencies, no TLS, no routing table — this binds to
-//! loopback (or an operator-chosen address) next to a `hacsh` process.
+//! Only `GET` is served; request paths are percent-decoded before
+//! routing; every response closes the connection. When the bounded
+//! accept queue overflows the request is *shed* with a best-effort
+//! `503` (and counted) instead of queueing unboundedly. No external
+//! dependencies, no TLS, no routing table — this binds to loopback (or
+//! an operator-chosen address) next to a `hacsh` process.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -28,14 +33,29 @@ use std::time::Duration;
 
 use crate::trace;
 
-/// Worker threads serving scrape requests.
-const HTTP_WORKERS: usize = 2;
-/// Accepted connections waiting for a worker.
-const HTTP_QUEUE_DEPTH: usize = 32;
 /// Read cap for the request head (we never need bodies).
 const MAX_REQUEST_HEAD: usize = 8 * 1024;
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tuning for an [`ObsServer`] (defaults suit a loopback scrape target).
+#[derive(Debug, Clone)]
+pub struct ObsServerConfig {
+    /// Worker threads serving scrape requests.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before shedding.
+    pub queue_depth: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ObsServerConfig {
+    fn default() -> Self {
+        ObsServerConfig {
+            workers: 2,
+            queue_depth: 32,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Caller-supplied `/statusz` payload producer (must return JSON).
 pub type StatusFn = Arc<dyn Fn() -> String + Send + Sync>;
@@ -44,15 +64,24 @@ struct HttpQueue {
     conns: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
     shutdown: AtomicBool,
+    depth: usize,
+    io_timeout: Duration,
 }
 
 impl HttpQueue {
-    fn push(&self, stream: TcpStream) {
+    fn push(&self, mut stream: TcpStream) {
         let mut conns = self.conns.lock().unwrap();
-        if conns.len() >= HTTP_QUEUE_DEPTH {
-            // Scrapers retry; shedding beats unbounded growth.
-            drop(stream);
+        if conns.len() >= self.depth {
+            drop(conns);
+            // Scrapers retry; shedding beats unbounded growth. Tell the
+            // peer why (best effort — the write itself may fail) instead
+            // of a bare reset.
             crate::counter("hac_obs_http_shed_total", &[]).inc();
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\n\
+                  Content-Length: 9\r\nConnection: close\r\n\r\noverload\n",
+            );
             return;
         }
         conns.push_back(stream);
@@ -85,20 +114,34 @@ impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving the global
     /// observability domain. `status` produces the `/statusz` JSON body.
     pub fn serve(addr: &str, status: StatusFn) -> std::io::Result<ObsServer> {
+        ObsServer::serve_with(addr, status, ObsServerConfig::default())
+    }
+
+    /// Like [`serve`](Self::serve) with explicit worker/queue/timeout
+    /// tuning (tests use tiny queues to exercise the shed path).
+    pub fn serve_with(
+        addr: &str,
+        status: StatusFn,
+        config: ObsServerConfig,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let queue = Arc::new(HttpQueue {
             conns: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            depth: config.queue_depth.max(1),
+            io_timeout: config.io_timeout,
         });
-        let mut threads = Vec::with_capacity(HTTP_WORKERS + 1);
-        for _ in 0..HTTP_WORKERS {
+        let workers = config.workers.max(1);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for _ in 0..workers {
             let queue = Arc::clone(&queue);
             let status = Arc::clone(&status);
             threads.push(std::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
-                    let _ = serve_connection(stream, &status);
+                    let io_timeout = queue.io_timeout;
+                    let _ = serve_connection(stream, &status, io_timeout);
                 }
             }));
         }
@@ -146,9 +189,13 @@ impl Drop for ObsServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, status: &StatusFn) -> std::io::Result<()> {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+fn serve_connection(
+    mut stream: TcpStream,
+    status: &StatusFn,
+    io_timeout: Duration,
+) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
     // Read until the blank line ending the request head; we ignore bodies.
@@ -165,14 +212,22 @@ fn serve_connection(mut stream: TcpStream, status: &StatusFn) -> std::io::Result
     let head = String::from_utf8_lossy(&head);
     let request_line = head.lines().next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
-    let (method, path) = (
+    let (method, target) = (
         parts.next().unwrap_or_default(),
         parts.next().unwrap_or_default(),
     );
     if method != "GET" {
         return respond(&mut stream, 405, "text/plain", "method not allowed\n");
     }
-    let endpoint = normalize_endpoint(path);
+    // Split the query off before decoding so `%26` in a value cannot
+    // smuggle in a separator, then percent-decode path and params.
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path);
+    let query = parse_query(raw_query);
+    let endpoint = normalize_endpoint(&path);
     crate::counter("hac_obs_http_requests_total", &[("endpoint", endpoint)]).inc();
     match endpoint {
         "metrics" => respond(
@@ -195,6 +250,40 @@ fn serve_connection(mut stream: TcpStream, status: &StatusFn) -> std::io::Result
             "application/json",
             &events_json(&crate::slow_ops()),
         ),
+        "timeseries" => {
+            // Pull-style fallback: a scrape with no sampler thread still
+            // gets fresh points (daemonless CI smoke relies on this).
+            crate::timeseries::sample_if_due();
+            let metric = match query.iter().find(|(k, _)| k == "metric") {
+                Some((_, m)) if !m.is_empty() => m.as_str(),
+                _ => {
+                    return respond(
+                        &mut stream,
+                        400,
+                        "text/plain",
+                        "missing required query param: metric\n",
+                    )
+                }
+            };
+            let window = query
+                .iter()
+                .find(|(k, _)| k == "window")
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+                .unwrap_or(60);
+            match crate::timeseries::global().series_json(metric, window) {
+                Some(json) => respond(&mut stream, 200, "application/json", &json),
+                None => respond(&mut stream, 404, "text/plain", "unknown metric\n"),
+            }
+        }
+        "alerts" => {
+            crate::timeseries::sample_if_due();
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &crate::slo::engine().to_json(),
+            )
+        }
         "trace" => match trace::parse_id(path.trim_start_matches("/trace/")) {
             Some(id) => {
                 // A span can sit in either (or both) rings; assembly dedups.
@@ -207,7 +296,9 @@ fn serve_connection(mut stream: TcpStream, status: &StatusFn) -> std::io::Result
                     respond(&mut stream, 200, "application/json", &tree.to_json())
                 }
             }
-            None => respond(&mut stream, 400, "text/plain", "bad trace id\n"),
+            // Malformed ids and unknown ids look the same to a client:
+            // there is no such trace resource.
+            None => respond(&mut stream, 404, "text/plain", "unknown trace id\n"),
         },
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
@@ -220,9 +311,59 @@ fn normalize_endpoint(path: &str) -> &'static str {
         "/statusz" => "statusz",
         "/events" => "events",
         "/slow" => "slow",
+        "/timeseries" => "timeseries",
+        "/alerts" => "alerts",
         p if p.starts_with("/trace/") => "trace",
         _ => "other",
     }
+}
+
+/// Decodes `%XX` escapes (and `+` as space) in a URL path or query
+/// component; malformed escapes pass through literally.
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw query string into decoded `(key, value)` pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
 }
 
 fn events_json(events: &[crate::Event]) -> String {
@@ -316,10 +457,111 @@ mod tests {
         let (code, _) = get(addr, "/trace/ffffffffffffffff");
         assert_eq!(code, 404, "unknown trace id");
         let (code, _) = get(addr, "/trace/zz");
-        assert_eq!(code, 400, "malformed trace id");
+        assert_eq!(code, 404, "malformed trace id is just an unknown trace");
         let (code, _) = get(addr, "/nope");
         assert_eq!(code, 404);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn percent_decoded_paths_route_and_unknowns_404() {
+        let status: StatusFn = Arc::new(String::new);
+        let mut server = ObsServer::serve("127.0.0.1:0", status).unwrap();
+        let addr = server.local_addr();
+
+        // %6D%65trics → "metrics"
+        let (code, body) = get(addr, "/%6D%65trics");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("# TYPE"), "{body}");
+
+        // Encoded unknown path and encoded malformed trace id both 404.
+        let (code, _) = get(addr, "/no%20such%20page");
+        assert_eq!(code, 404);
+        let (code, _) = get(addr, "/trace/%7A%7A");
+        assert_eq!(code, 404);
+
+        assert_eq!(percent_decode("a%2Fb+c%"), "a/b c%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeseries_and_alerts_endpoints() {
+        crate::counter("t_http_ts_total", &[]).inc();
+        crate::timeseries::sample_now();
+        crate::counter("t_http_ts_total", &[]).inc();
+        crate::timeseries::sample_now();
+
+        let status: StatusFn = Arc::new(String::new);
+        let mut server = ObsServer::serve("127.0.0.1:0", status).unwrap();
+        let addr = server.local_addr();
+
+        let (code, body) = get(addr, "/timeseries?metric=t_http_ts_total&window=60");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"metric\":\"t_http_ts_total\""), "{body}");
+        assert!(body.contains("\"points\":["), "{body}");
+
+        let (code, _) = get(addr, "/timeseries?metric=t_http_no_such_metric");
+        assert_eq!(code, 404);
+        let (code, body) = get(addr, "/timeseries");
+        assert_eq!(code, 400, "{body}");
+
+        let (code, body) = get(addr, "/alerts");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"active\":["), "{body}");
+        assert!(body.contains("\"objectives\":["), "{body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_queue_overflow_responds_503_and_counts() {
+        let status: StatusFn = Arc::new(String::new);
+        let config = ObsServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            io_timeout: Duration::from_secs(2),
+        };
+        let mut server = ObsServer::serve_with("127.0.0.1:0", status, config).unwrap();
+        let addr = server.local_addr();
+        let shed_before = crate::counter("hac_obs_http_shed_total", &[]).get();
+
+        // Pin the single worker on a half-written request, then stuff
+        // more idle connections in than the queue can hold.
+        let mut blocker = TcpStream::connect(addr).unwrap();
+        blocker.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        let mut held = Vec::new();
+        let mut sheds = 0;
+        for _ in 0..8 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut response = String::new();
+            if stream.read_to_string(&mut response).is_ok() && response.starts_with("HTTP/1.1 503")
+            {
+                sheds += 1;
+                continue;
+            }
+            held.push(stream);
+        }
+        assert!(sheds > 0, "expected at least one shed 503");
+        let shed_after = crate::counter("hac_obs_http_shed_total", &[]).get();
+        assert!(
+            shed_after >= shed_before + sheds,
+            "shed counter should cover every 503 ({shed_before} -> {shed_after}, saw {sheds})"
+        );
+
+        // Release the worker so shutdown can drain cleanly.
+        blocker.write_all(b"Host: x\r\n\r\n").unwrap();
+        drop(held);
         server.shutdown();
     }
 

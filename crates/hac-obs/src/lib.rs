@@ -18,6 +18,8 @@
 pub mod events;
 pub mod http;
 pub mod metrics;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,10 +27,15 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub use events::{Event, EventRing, SpanGuard};
-pub use http::ObsServer;
+pub use http::{ObsServer, ObsServerConfig};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSample, MetricId,
     Registry, Sample, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use slo::{Alert, Objective, SloEngine, SloSpec, SloState};
+pub use timeseries::{
+    sample_if_due, sample_now, sampler_running, start_sampler, GaugeWindow, TimeSeries,
+    DEFAULT_SAMPLE_INTERVAL_MS,
 };
 pub use trace::{
     assemble, continue_trace, current as current_trace, set_tracing_enabled, tracing_enabled,
@@ -340,6 +347,18 @@ mod tests {
         assert!(text.contains("t_lat_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("t_lat_us_sum 6"));
         assert!(text.contains("t_lat_us_count 2"));
+        // Every TYPE line is preceded by a HELP line for the same name.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "TYPE without preceding HELP for {name}: {:?}",
+                    lines.get(i.saturating_sub(1))
+                );
+            }
+        }
         // One TYPE line per metric name, preceding its samples.
         assert!(text.contains("# TYPE t_reqs_total counter"));
         assert!(text.contains("# TYPE t_depth gauge"));

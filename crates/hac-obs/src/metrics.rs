@@ -187,6 +187,131 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+fn escape_help(v: &str) -> String {
+    // `# HELP` text escapes backslash and newline only (no quotes).
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Curated `# HELP` text for the workspace's metric families.
+const CURATED_HELP: &[(&str, &str)] = &[
+    ("hac_ssync_passes_total", "Reindex (ssync) passes completed"),
+    ("hac_ssync_duration_us", "Wall time of one ssync pass"),
+    (
+        "hac_reindex_passes_total",
+        "Reindex daemon passes by outcome",
+    ),
+    (
+        "hac_reindex_backoff_ms",
+        "Current daemon failure backoff delay",
+    ),
+    (
+        "hac_reindex_dirty_docs",
+        "Documents queued for retokenization",
+    ),
+    ("hac_query_evals_total", "Semantic query evaluations"),
+    (
+        "hac_query_eval_duration_us",
+        "Latency of one semantic query evaluation",
+    ),
+    (
+        "hac_query_results",
+        "Result-set cardinality per query evaluation",
+    ),
+    (
+        "hac_net_requests_total",
+        "Client requests sent over the HACN wire",
+    ),
+    (
+        "hac_net_request_duration_us",
+        "Client-observed request latency",
+    ),
+    (
+        "hac_net_errors_total",
+        "Client requests that ended in an error",
+    ),
+    ("hac_net_retries_total", "Client request retries"),
+    (
+        "hac_net_server_requests_total",
+        "Requests served, by operation",
+    ),
+    (
+        "hac_net_server_request_duration_us",
+        "Server-side request service time",
+    ),
+    (
+        "hac_net_server_errors_total",
+        "Served requests that returned an error",
+    ),
+    (
+        "hac_net_server_rejected_total",
+        "Connections shed at the full accept queue",
+    ),
+    ("hac_store_commit_us", "Durable index store commit latency"),
+    (
+        "hac_store_segments_live",
+        "Live segments in the durable index store",
+    ),
+    (
+        "hac_slo_breaches_total",
+        "Objective transitions into the breach state",
+    ),
+    ("hac_slo_state", "Objective state (0 ok, 1 warn, 2 breach)"),
+    (
+        "hac_slo_evals_total",
+        "Objective evaluations by the sampler",
+    ),
+    ("hac_ts_samples_total", "Time-series sampler ticks"),
+    (
+        "hac_ts_sample_duration_us",
+        "Cost of one time-series sampling tick",
+    ),
+    ("hac_ts_sampler_interval_ms", "Configured sampling interval"),
+    (
+        "hac_obs_http_shed_total",
+        "Observability HTTP requests shed (503) at the full queue",
+    ),
+    (
+        "hac_obs_http_requests_total",
+        "Observability HTTP requests by endpoint",
+    ),
+    (
+        "hac_events_dropped_total",
+        "Events evicted from a full ring",
+    ),
+    (
+        "hac_slow_ops_total",
+        "Spans exceeding the slow-op threshold",
+    ),
+    ("hac_span_duration_us", "Span durations by span name"),
+];
+
+/// `# HELP` text for a metric name: an explicitly registered string, the
+/// curated table, or readable text derived from the name itself — every
+/// `# TYPE` line is guaranteed a preceding `# HELP` line.
+pub fn help_for(name: &str, registered: Option<&str>) -> String {
+    if let Some(h) = registered {
+        return h.to_string();
+    }
+    if let Some((_, h)) = CURATED_HELP.iter().find(|(n, _)| *n == name) {
+        return (*h).to_string();
+    }
+    // Derived fallback: strip conventional prefixes/suffixes into prose.
+    let mut words = name.trim_start_matches("hac_").replace('_', " ");
+    let suffix = if let Some(w) = words.strip_suffix(" total") {
+        words = w.to_string();
+        " (cumulative count)"
+    } else if let Some(w) = words.strip_suffix(" us") {
+        words = w.to_string();
+        " in microseconds"
+    } else if let Some(w) = words.strip_suffix(" ms") {
+        words = w.to_string();
+        " in milliseconds"
+    } else {
+        ""
+    };
+    format!("{words}{suffix}")
+}
+
 /// One counter/gauge sample in a [`Snapshot`].
 #[derive(Debug, Clone)]
 pub struct Sample {
@@ -220,6 +345,9 @@ pub struct Snapshot {
     pub gauges: Vec<Sample>,
     /// Histogram samples.
     pub histograms: Vec<HistogramSample>,
+    /// Explicitly registered per-name help strings
+    /// (see [`Registry::set_help`]).
+    pub help: BTreeMap<String, String>,
 }
 
 impl Snapshot {
@@ -256,16 +384,19 @@ impl Snapshot {
             .sum()
     }
 
-    /// Renders Prometheus text exposition: one `# TYPE` comment per metric
-    /// name followed by its `name{label="…"} value` samples; histograms as
-    /// cumulative `_bucket`/`_sum`/`_count` series.
+    /// Renders Prometheus text exposition: one `# HELP` + `# TYPE` comment
+    /// pair per metric name followed by its `name{label="…"} value`
+    /// samples; histograms as cumulative `_bucket`/`_sum`/`_count` series.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut typed = String::new();
+        let help = &self.help;
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             // Samples are sorted by id, so every label set of one name is
-            // contiguous and gets a single TYPE line.
+            // contiguous and gets a single HELP+TYPE pair.
             if typed != name {
+                let text = help_for(name, help.get(name).map(String::as_str));
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(&text)));
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
                 typed = name.to_string();
             }
@@ -407,6 +538,7 @@ impl Snapshot {
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<MetricId, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -459,10 +591,20 @@ impl Registry {
         }
     }
 
+    /// Registers (or replaces) the `# HELP` text of a metric name.
+    /// Unregistered names fall back to curated/derived text — every
+    /// exposed metric always has a HELP line.
+    pub fn set_help(&self, name: &str, help: &str) {
+        self.help.lock().insert(name.to_string(), help.to_string());
+    }
+
     /// Copies every metric's current value.
     pub fn snapshot(&self) -> Snapshot {
         let metrics = self.metrics.lock();
-        let mut snap = Snapshot::default();
+        let mut snap = Snapshot {
+            help: self.help.lock().clone(),
+            ..Snapshot::default()
+        };
         for (id, metric) in metrics.iter() {
             match metric {
                 Metric::Counter(c) => snap.counters.push(Sample {

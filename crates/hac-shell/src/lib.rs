@@ -507,7 +507,8 @@ impl Shell {
                     self.obs_server = Some(server);
                     Ok(format!(
                         "observability on http://{bound}/ \
-                         (/metrics /healthz /statusz /events /slow /trace/<id>)\n"
+                         (/metrics /healthz /statusz /events /slow /trace/<id> \
+                         /timeseries /alerts)\n"
                     ))
                 }
                 _ => Err(ShellError::Usage(
@@ -531,44 +532,7 @@ impl Shell {
                 _ => Err(ShellError::Usage("trace <id>")),
             },
             "stats" => match args {
-                [] => {
-                    let s = self.fs.index_stats();
-                    let mut out = format!(
-                        "docs {}  terms {}  blocks {}  index {} B  hac-metadata {} B\n",
-                        s.docs,
-                        s.terms,
-                        s.blocks,
-                        s.total_bytes(),
-                        self.fs.metadata_bytes()
-                    );
-                    let snap = hac_obs::snapshot();
-                    if !snap.counters.is_empty() {
-                        out.push_str("\ncounters:\n");
-                        for c in &snap.counters {
-                            out.push_str(&format!("  {:<56} {}\n", c.id.render(), c.value));
-                        }
-                    }
-                    if !snap.gauges.is_empty() {
-                        out.push_str("\ngauges:\n");
-                        for g in &snap.gauges {
-                            out.push_str(&format!("  {:<56} {}\n", g.id.render(), g.value));
-                        }
-                    }
-                    if !snap.histograms.is_empty() {
-                        out.push_str("\nhistograms:\n");
-                        for h in &snap.histograms {
-                            let mean = h.sum.checked_div(h.count).unwrap_or(0);
-                            out.push_str(&format!(
-                                "  {:<56} count {}  sum {}  mean {}\n",
-                                h.id.render(),
-                                h.count,
-                                h.sum,
-                                mean
-                            ));
-                        }
-                    }
-                    Ok(out)
-                }
+                [] => Ok(self.render_stats()),
                 [flag] if flag == "--prom" => Ok(hac_obs::prometheus()),
                 [flag] if flag == "--events" => {
                     let mut out = String::new();
@@ -585,7 +549,52 @@ impl Shell {
                     }
                     Ok(out)
                 }
-                _ => Err(ShellError::Usage("stats [--prom|--events]")),
+                flags if flags.iter().all(|f| is_refresh_flag(f)) && !flags.is_empty() => {
+                    let (interval, frames) = parse_refresh_flags(flags)
+                        .ok_or(ShellError::Usage("stats [--watch[=secs]] [--frames=n]"))?;
+                    let fs = Arc::clone(&self.fs);
+                    Ok(watch_loop(interval, frames, move || render_stats_for(&fs)))
+                }
+                _ => Err(ShellError::Usage(
+                    "stats [--prom|--events|--watch[=secs] [--frames=n]]",
+                )),
+            },
+            "top" => {
+                if !args.iter().all(|f| is_refresh_flag(f)) {
+                    return Err(ShellError::Usage("top [--watch[=secs]] [--frames=n]"));
+                }
+                let cfg = self.fs.config();
+                // `top` is often the first observability consumer in a
+                // session: make sure objectives are installed and the
+                // sampler is feeding the windows it renders.
+                if hac_obs::slo::engine().is_empty() && !cfg.slos.is_empty() {
+                    hac_obs::slo::install(&cfg.slos);
+                }
+                hac_obs::start_sampler(std::time::Duration::from_millis(cfg.sample_interval_ms));
+                hac_obs::sample_if_due();
+                match args {
+                    [] => Ok(render_top(&self.fs)),
+                    flags => {
+                        let (interval, frames) = parse_refresh_flags(flags)
+                            .ok_or(ShellError::Usage("top [--watch[=secs]] [--frames=n]"))?;
+                        let fs = Arc::clone(&self.fs);
+                        Ok(watch_loop(interval, frames, move || {
+                            hac_obs::sample_if_due();
+                            render_top(&fs)
+                        }))
+                    }
+                }
+            }
+            "slo" => match args {
+                [word] if word == "status" => {
+                    let cfg = self.fs.config();
+                    if hac_obs::slo::engine().is_empty() && !cfg.slos.is_empty() {
+                        hac_obs::slo::install(&cfg.slos);
+                    }
+                    hac_obs::sample_if_due();
+                    Ok(render_slo_status())
+                }
+                _ => Err(ShellError::Usage("slo status")),
             },
             "store" => match args {
                 [word] if word == "status" => {
@@ -630,6 +639,11 @@ impl Shell {
             },
             other => Err(ShellError::UnknownCommand(other.to_string())),
         }
+    }
+
+    /// The plain `stats` snapshot (index shape plus every raw metric).
+    fn render_stats(&self) -> String {
+        render_stats_for(&self.fs)
     }
 
     /// Builds the `/statusz` closure for the observability server: a JSON
@@ -677,6 +691,228 @@ impl Shell {
     }
 }
 
+/// True for the flags shared by `top` and `stats --watch`.
+fn is_refresh_flag(f: &str) -> bool {
+    f == "--watch" || f.starts_with("--watch=") || f.starts_with("--frames=")
+}
+
+/// Parses `--watch[=secs]` / `--frames=n` into (interval, frame count).
+/// `--watch` alone refreshes every 2s until interrupted; `--frames` bounds
+/// the loop (tests and scripts use it). Returns `None` on malformed values.
+fn parse_refresh_flags(flags: &[String]) -> Option<(std::time::Duration, u64)> {
+    let mut interval = std::time::Duration::from_secs(2);
+    let mut frames = u64::MAX;
+    for f in flags {
+        if let Some(v) = f.strip_prefix("--watch=") {
+            let secs: f64 = v.parse().ok().filter(|s| *s > 0.0)?;
+            interval = std::time::Duration::from_secs_f64(secs);
+        } else if let Some(v) = f.strip_prefix("--frames=") {
+            frames = v.parse().ok().filter(|n| *n > 0)?;
+        } else if f != "--watch" {
+            return None;
+        }
+    }
+    Some((interval, frames))
+}
+
+/// Shared refresh loop of `top --watch` and `stats --watch`: renders a
+/// frame, prints it behind an ANSI clear-screen, sleeps, repeats. The last
+/// frame is also *returned* so scripted callers (and tests) get output
+/// through the normal command path.
+fn watch_loop(interval: std::time::Duration, frames: u64, render: impl Fn() -> String) -> String {
+    let mut last = String::new();
+    for i in 0..frames {
+        last = render();
+        // \x1b[2J clears the screen, \x1b[H homes the cursor.
+        print!("\x1b[2J\x1b[H{last}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if i + 1 < frames {
+            std::thread::sleep(interval);
+        }
+    }
+    last
+}
+
+fn render_stats_for(fs: &HacFs) -> String {
+    let s = fs.index_stats();
+    let mut out = format!(
+        "docs {}  terms {}  blocks {}  index {} B  hac-metadata {} B\n",
+        s.docs,
+        s.terms,
+        s.blocks,
+        s.total_bytes(),
+        fs.metadata_bytes()
+    );
+    let snap = hac_obs::snapshot();
+    if !snap.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for c in &snap.counters {
+            out.push_str(&format!("  {:<56} {}\n", c.id.render(), c.value));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("\ngauges:\n");
+        for g in &snap.gauges {
+            out.push_str(&format!("  {:<56} {}\n", g.id.render(), g.value));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("\nhistograms:\n");
+        for h in &snap.histograms {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<56} count {}  sum {}  mean {}\n",
+                h.id.render(),
+                h.count,
+                h.sum,
+                mean
+            ));
+        }
+    }
+    out
+}
+
+/// Formats a rate for the dashboard (`-` until two samples exist).
+fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(r) => format!("{r:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a windowed percentile in µs.
+fn fmt_pct(v: Option<u64>) -> String {
+    match v {
+        Some(v) => format!("{v}"),
+        None => "-".to_string(),
+    }
+}
+
+/// One frame of the `top` dashboard: windowed rates, percentiles, daemon
+/// and store health, and the active-alert list, all from the global
+/// time-series layer.
+fn render_top(fs: &HacFs) -> String {
+    let ts = hac_obs::timeseries::global();
+    let snap = hac_obs::snapshot();
+    let s = fs.index_stats();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "hac top — sampler {} @ {}ms, {} samples\n",
+        if hac_obs::sampler_running() {
+            "running"
+        } else {
+            "on-demand"
+        },
+        ts.interval_ms(),
+        ts.sample_count()
+    ));
+    out.push_str(&format!(
+        "index      docs {}  terms {}  index {} B  metadata {} B\n",
+        s.docs,
+        s.terms,
+        s.total_bytes(),
+        fs.metadata_bytes()
+    ));
+    out.push_str(&format!(
+        "server rps 1s {:>8}  10s {:>8}  60s {:>8}   err {} (10s)\n",
+        fmt_rate(ts.rate("hac_net_server_requests_total", 1)),
+        fmt_rate(ts.rate("hac_net_server_requests_total", 10)),
+        fmt_rate(ts.rate("hac_net_server_requests_total", 60)),
+        match ts.ratio(
+            "hac_net_server_errors_total",
+            "hac_net_server_requests_total",
+            10
+        ) {
+            Some(r) => format!("{:.2}%", r * 100.0),
+            None => "-".to_string(),
+        },
+    ));
+    out.push_str(&format!(
+        "server lat p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  (60s)\n",
+        fmt_pct(ts.percentile_us("hac_net_server_request_duration_us", 60, 50.0)),
+        fmt_pct(ts.percentile_us("hac_net_server_request_duration_us", 60, 95.0)),
+        fmt_pct(ts.percentile_us("hac_net_server_request_duration_us", 60, 99.0)),
+    ));
+    out.push_str(&format!(
+        "query eval p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  {}/s (10s)\n",
+        fmt_pct(ts.percentile_us("hac_query_eval_duration_us", 60, 50.0)),
+        fmt_pct(ts.percentile_us("hac_query_eval_duration_us", 60, 95.0)),
+        fmt_pct(ts.percentile_us("hac_query_eval_duration_us", 60, 99.0)),
+        fmt_rate(ts.rate("hac_query_evals_total", 10)),
+    ));
+    let passes_ok = snap
+        .counter_value("hac_reindex_passes_total", &[("outcome", "ok")])
+        .unwrap_or(0);
+    let passes_failed = snap
+        .counter_value("hac_reindex_passes_total", &[("outcome", "failed")])
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "reindex    passes ok {passes_ok}  failed {passes_failed}  backoff {} ms  dirty {}\n",
+        snap.gauge_value("hac_reindex_backoff_ms", &[]).unwrap_or(0),
+        snap.gauge_value("hac_reindex_dirty_docs", &[]).unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "store      commit p99 {:>7}us (60s)  segments live {}\n",
+        fmt_pct(ts.percentile_us("hac_store_commit_us", 60, 99.0)),
+        snap.gauge_value("hac_store_segments_live", &[])
+            .unwrap_or(0),
+    ));
+    let status = hac_obs::slo::engine().status();
+    let active: Vec<&hac_obs::slo::SloStatus> = status
+        .iter()
+        .filter(|s| s.state != hac_obs::SloState::Ok)
+        .collect();
+    if status.is_empty() {
+        out.push_str("alerts     (no objectives installed)\n");
+    } else if active.is_empty() {
+        out.push_str(&format!(
+            "alerts     none ({} objectives ok)\n",
+            status.len()
+        ));
+    } else {
+        for a in active {
+            out.push_str(&format!(
+                "alerts     [{}] {}  value {}  threshold {:.3}\n",
+                a.state.as_str().to_uppercase(),
+                a.spec.name,
+                a.value
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                a.spec.threshold(),
+            ));
+        }
+    }
+    out
+}
+
+/// `slo status`: every installed objective with its state and last value.
+fn render_slo_status() -> String {
+    let status = hac_obs::slo::engine().status();
+    if status.is_empty() {
+        return "no objectives installed\n".to_string();
+    }
+    let mut out = String::new();
+    for s in &status {
+        out.push_str(&format!(
+            "{:<7} {:<60} value {}\n",
+            s.state.as_str(),
+            s.spec.render(),
+            s.value
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+        ));
+    }
+    let recent = hac_obs::slo::engine().recent_alerts();
+    if !recent.is_empty() {
+        out.push_str("recent transitions:\n");
+        for a in recent.iter().rev().take(8) {
+            out.push_str(&format!("  {}\n", a.message));
+        }
+    }
+    out
+}
+
 fn target_str(t: &LinkTarget) -> String {
     match t {
         LinkTarget::Local(fid) => format!("local {fid}"),
@@ -694,7 +930,7 @@ curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
 network     : serve <addr> <ns> [dir] | serve stop | serve status | \
 mount <dir> tcp://host:port/ns
 observe     : obs-serve <addr>|stop|status | trace <id> | \
-stats [--prom|--events]
+stats [--prom|--events|--watch[=secs]] | top [--watch[=secs]] | slo status
 durability  : store status | store gc [grace] | store checkpoint
 other       : mounts <dir> | help
 ";
@@ -859,6 +1095,30 @@ mod tests {
         assert!(sh.exec("stats").unwrap().contains("docs 2"));
         assert!(sh.exec("help").unwrap().contains("smkdir"));
         assert_eq!(sh.exec("").unwrap(), "");
+    }
+
+    #[test]
+    fn top_slo_and_watch_render() {
+        let mut sh = sh();
+        let top = sh.exec("top").unwrap();
+        assert!(top.contains("hac top —"), "{top}");
+        assert!(top.contains("server rps"), "{top}");
+        assert!(top.contains("query eval"), "{top}");
+        // Default objectives were installed by the first `top`.
+        let slo = sh.exec("slo status").unwrap();
+        assert!(slo.contains("query-latency"), "{slo}");
+        assert!(slo.starts_with("ok"), "fresh objectives are ok: {slo}");
+        // Bounded watch loops return their last frame.
+        let watched = sh.exec("stats --watch=0.01 --frames=2").unwrap();
+        assert!(watched.contains("docs 2"), "{watched}");
+        let watched = sh.exec("top --watch=0.01 --frames=2").unwrap();
+        assert!(watched.contains("hac top —"), "{watched}");
+        assert!(matches!(sh.exec("top --bogus"), Err(ShellError::Usage(_))));
+        assert!(matches!(
+            sh.exec("top --watch=nope"),
+            Err(ShellError::Usage(_))
+        ));
+        assert!(matches!(sh.exec("slo bogus"), Err(ShellError::Usage(_))));
     }
 
     #[test]

@@ -66,12 +66,23 @@ fn stats_shows_live_counters_and_prom_exposition() {
     assert!(human.contains("histograms:"), "{human}");
     assert!(human.contains("hac_query_eval_duration_us"), "{human}");
 
-    // Prometheus exposition: every sample line parses, `# TYPE` comments
-    // announce each metric, required series present.
+    // Prometheus exposition: every sample line parses, each metric is
+    // announced by a `# HELP` + `# TYPE` pair, required series present.
     let prom = sh.exec("stats --prom").unwrap();
-    for line in prom.lines() {
+    let lines: Vec<&str> = prom.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
         if let Some(comment) = line.strip_prefix("# ") {
-            assert!(comment.starts_with("TYPE "), "unexpected comment {line:?}");
+            assert!(
+                comment.starts_with("TYPE ") || comment.starts_with("HELP "),
+                "unexpected comment {line:?}"
+            );
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "TYPE without preceding HELP for {name}"
+                );
+            }
             continue;
         }
         let (id, value) = line.rsplit_once(' ').expect("line has `id value` shape");
@@ -83,6 +94,10 @@ fn stats_shows_live_counters_and_prom_exposition() {
     }
     assert!(
         prom.contains("# TYPE hac_query_eval_duration_us histogram"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("# HELP hac_query_eval_duration_us "),
         "{prom}"
     );
     for needle in [
