@@ -30,6 +30,13 @@ pub enum ChaosMode {
     CloseAfter(u64),
     /// Forward, XOR-flipping every byte (frames arrive, magic is wrong).
     Garble,
+    /// Slow-loris: relay one byte per interval, keeping the connection
+    /// alive while a single frame takes arbitrarily long to finish.
+    Dribble(Duration),
+    /// Forward the first `n` bytes of each direction, then swallow
+    /// everything after — the connection stays open but silent mid-frame
+    /// (e.g. `n = 6` stalls inside the HACN header).
+    StallAfter(u64),
 }
 
 struct Shared {
@@ -203,6 +210,43 @@ fn pump(shared: &Shared, mut from: TcpStream, mut to: TcpStream) {
                     break;
                 }
             }
+            ChaosMode::Dribble(interval) => {
+                shared.faults.fetch_add(1, Ordering::Relaxed);
+                let mut cut = false;
+                for b in chunk.iter() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        cut = true;
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                    if to.write_all(std::slice::from_ref(b)).is_err() {
+                        cut = true;
+                        break;
+                    }
+                }
+                if cut {
+                    break;
+                }
+                forwarded += n as u64;
+                continue; // each byte already written above
+            }
+            ChaosMode::StallAfter(limit) => {
+                if forwarded >= limit {
+                    // Swallow silently: the peer keeps waiting on an open
+                    // socket that will never deliver the rest of the frame.
+                    shared.faults.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let allowed = (limit - forwarded).min(n as u64) as usize;
+                if allowed < n {
+                    shared.faults.fetch_add(1, Ordering::Relaxed);
+                    if to.write_all(&chunk[..allowed]).is_err() {
+                        break;
+                    }
+                    forwarded += allowed as u64;
+                    continue;
+                }
+            }
         }
         if to.write_all(chunk).is_err() {
             break;
@@ -294,6 +338,170 @@ mod tests {
         assert!(received.len() <= 3, "got {} bytes back", received.len());
         assert!(proxy.fault_count() >= 1);
         proxy.stop();
+    }
+
+    #[test]
+    fn dribble_relays_one_byte_at_a_time() {
+        let (upstream, _h) = echo_server();
+        let proxy = ChaosProxy::start(upstream).unwrap();
+        proxy.set_mode(ChaosMode::Dribble(Duration::from_millis(10)));
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let t = std::time::Instant::now();
+        conn.write_all(b"abcd").unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        // Four bytes to the upstream, each behind a 10ms dribble (the
+        // echoed return direction overlaps, so only the forward path is a
+        // guaranteed lower bound).
+        assert!(
+            t.elapsed() >= Duration::from_millis(40),
+            "{:?}",
+            t.elapsed()
+        );
+        assert!(proxy.fault_count() >= 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn stall_after_swallows_without_closing() {
+        let (upstream, _h) = echo_server();
+        let proxy = ChaosProxy::start(upstream).unwrap();
+        proxy.set_mode(ChaosMode::StallAfter(3));
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        conn.write_all(b"abcdef").unwrap();
+        let mut received = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) => panic!("stall must keep the connection open, got EOF"),
+                Ok(n) => received.extend_from_slice(&buf[..n]),
+                // Timeout: the socket is open but silent — exactly a stall.
+                Err(_) => break,
+            }
+        }
+        assert!(received.len() <= 3, "got {} bytes back", received.len());
+        assert!(proxy.fault_count() >= 1);
+        proxy.stop();
+    }
+
+    /// A peer whose bytes arrive through a dribbling proxy violates the
+    /// server's mid-frame read deadline and is shed, while a direct
+    /// (healthy) client keeps getting answers the whole time.
+    #[test]
+    fn server_sheds_dribbled_connections_but_serves_healthy_ones() {
+        use crate::server::{HacServer, ServerConfig};
+        use crate::wire::{self, Request, RequestBody, ResponseBody};
+
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            Vec::new(),
+            ServerConfig {
+                read_timeout: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let proxy = ChaosProxy::start(server.local_addr()).unwrap();
+        proxy.set_mode(ChaosMode::Dribble(Duration::from_millis(40)));
+
+        let reaped_before =
+            hac_obs::counter("hac_net_server_reaped_total", &[("reason", "slow_read")]).get();
+
+        // The victim's whole frame enters the proxy at once, but the
+        // server sees one byte per 40ms — far past the 150ms deadline.
+        let mut victim = TcpStream::connect(proxy.local_addr()).unwrap();
+        victim
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let payload = wire::encode_request(&Request::new(1, RequestBody::Capabilities));
+        wire::write_frame(&mut victim, &payload).unwrap();
+
+        // Healthy pings, dialed straight at the server, stay snappy while
+        // the dribble is in progress.
+        for i in 0..6 {
+            let mut healthy = TcpStream::connect(server.local_addr()).unwrap();
+            healthy
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let ping = wire::encode_request(&Request::new(i, RequestBody::Ping { version: 1 }));
+            wire::write_frame(&mut healthy, &ping).unwrap();
+            let resp = wire::read_frame(&mut healthy, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+            let resp = wire::decode_response(&resp).unwrap();
+            assert_eq!(resp.body, ResponseBody::Pong { version: 1 });
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let mut one = [0u8; 1];
+        let dead = matches!(victim.read(&mut one), Ok(0) | Err(_));
+        assert!(dead, "dribbled connection must be shed");
+        let reaped_after =
+            hac_obs::counter("hac_net_server_reaped_total", &[("reason", "slow_read")]).get();
+        assert!(
+            reaped_after > reaped_before,
+            "shed must be recorded as a slow_read reap"
+        );
+        proxy.stop();
+        server.shutdown();
+    }
+
+    /// A connection that stalls inside the HACN header (frame started,
+    /// never finished) hits the same mid-frame deadline.
+    #[test]
+    fn server_sheds_connections_stalled_after_the_header() {
+        use crate::server::{HacServer, ServerConfig};
+        use crate::wire::{self, Request, RequestBody, ResponseBody};
+
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            Vec::new(),
+            ServerConfig {
+                read_timeout: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let proxy = ChaosProxy::start(server.local_addr()).unwrap();
+        // Six bytes: the 4-byte magic plus half the length prefix, then
+        // silence on an open socket.
+        proxy.set_mode(ChaosMode::StallAfter(6));
+
+        let reaped_before =
+            hac_obs::counter("hac_net_server_reaped_total", &[("reason", "slow_read")]).get();
+
+        let mut victim = TcpStream::connect(proxy.local_addr()).unwrap();
+        victim
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let payload = wire::encode_request(&Request::new(1, RequestBody::Capabilities));
+        wire::write_frame(&mut victim, &payload).unwrap();
+
+        let mut one = [0u8; 1];
+        let dead = matches!(victim.read(&mut one), Ok(0) | Err(_));
+        assert!(dead, "stalled-after-header connection must be shed");
+        let reaped_after =
+            hac_obs::counter("hac_net_server_reaped_total", &[("reason", "slow_read")]).get();
+        assert!(
+            reaped_after > reaped_before,
+            "shed must be recorded as a slow_read reap"
+        );
+
+        // The server is unharmed: a healthy direct ping still answers.
+        let mut healthy = TcpStream::connect(server.local_addr()).unwrap();
+        healthy
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let ping = wire::encode_request(&Request::new(2, RequestBody::Ping { version: 1 }));
+        wire::write_frame(&mut healthy, &ping).unwrap();
+        let resp = wire::read_frame(&mut healthy, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        let resp = wire::decode_response(&resp).unwrap();
+        assert_eq!(resp.body, ResponseBody::Pong { version: 1 });
+
+        proxy.stop();
+        server.shutdown();
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod wire;
 
 pub use chaos::{ChaosMode, ChaosProxy};
 pub use client::{ClientConfig, NetRemote};
-pub use server::{HacServer, ServerConfig};
+pub use server::{HacServer, LoopStats, ServerConfig};
 pub use wire::{
     Request, RequestBody, Response, ResponseBody, TraceContext, WireError, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,

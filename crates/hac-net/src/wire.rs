@@ -32,6 +32,21 @@
 //! first, then falls back to v1. A client only attaches trace context on
 //! connections whose handshake negotiated v2, so v1 peers never see a
 //! three-field frame.
+//!
+//! ## Protocol evolution (v2 → v3)
+//!
+//! v3 changes no message *semantics* — it swaps the response payload
+//! encoding for the compact fixed-layout codec
+//! ([`encode_response_compact`]/[`decode_response_compact`]), cutting the
+//! dominant serialization cost out of the hot search path (the
+//! self-describing codec spends tens of microseconds on a multi-hundred-
+//! doc response; the compact codec is a few). The upgrade is negotiated:
+//! a v3 `Ping` (and its `Pong`, still persist-coded so older peers can
+//! read the refusal/downgrade) switches the *response* direction of that
+//! connection to the compact codec for all subsequent frames. Requests
+//! keep the persist codec in every version — they are small, and keeping
+//! them self-describing preserves the one-decoder server loop. v1/v2
+//! peers never negotiate v3, so their frame shapes are untouched.
 
 use std::io::{self, Read, Write};
 
@@ -42,7 +57,7 @@ use hac_index::ContentExpr;
 
 /// Version of the frame payload encoding. Bump on any incompatible change
 /// to [`Request`]/[`Response`].
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still speaks (v1 peers interoperate
 /// with tracing disabled).
@@ -248,15 +263,19 @@ impl From<RemoteError> for WireError {
 
 /// Writes one frame (header + payload) and flushes.
 ///
+/// Header and payload go out as one contiguous write: on an unbuffered
+/// socket that is a single syscall (and a single segment with
+/// `TCP_NODELAY`) instead of two.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    let mut header = [0u8; 8];
-    header[..4].copy_from_slice(&FRAME_MAGIC);
-    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -379,6 +398,413 @@ pub fn decode_response(bytes: &[u8]) -> io::Result<Response> {
     }
     let v1: ResponseV1 = hac_vfs::persist::decode_value(bytes).map_err(|_| invalid("response"))?;
     Ok(Response::new(v1.id, v1.body))
+}
+
+/// Incremental HACN frame assembler for nonblocking sockets.
+///
+/// Bytes arrive in whatever chunks the kernel delivers; [`push`]
+/// appends them and [`next_frame`] yields each completed payload as a
+/// borrowed slice of the internal buffer — no per-frame `Vec`. The
+/// length prefix is parsed incrementally, so a partial header or
+/// payload costs nothing but the buffered bytes. Storage is reused
+/// across frames: consumed bytes are compacted away lazily, so a
+/// long-lived connection settles at a buffer sized to its largest
+/// frame burst.
+///
+/// Error behavior matches the one-shot [`read_frame`]: a bad magic or
+/// an oversized length prefix is `InvalidData` (and the decoder is
+/// poisoned — the connection is unrecoverable mid-stream). Truncation
+/// is not an error here; it is simply "no frame yet".
+///
+/// [`push`]: FrameDecoder::push
+/// [`next_frame`]: FrameDecoder::next_frame
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_len: u32,
+    buf: Vec<u8>,
+    /// Parse offset: bytes before it were consumed by earlier frames.
+    start: usize,
+    poisoned: bool,
+    /// Reusable read block for [`read_from`](FrameDecoder::read_from):
+    /// zeroed once, then overwritten by every read — a fresh stack array
+    /// per call would pay a 16 KiB memset each time.
+    scratch: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_len` on every frame's payload.
+    pub fn new(max_len: u32) -> Self {
+        FrameDecoder {
+            max_len,
+            buf: Vec::new(),
+            start: 0,
+            poisoned: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Performs one `read` from `r`, appending whatever arrives to the
+    /// frame buffer. Returns the byte count — `0` means EOF. Blocking,
+    /// timeout, and error semantics are exactly the underlying reader's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reader's error untouched (including
+    /// `WouldBlock`/`TimedOut` from socket timeouts).
+    pub fn read_from<R: io::Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.is_empty() {
+            scratch = vec![0u8; 16 * 1024];
+        }
+        let res = r.read(&mut scratch);
+        if let Ok(n) = res {
+            self.push(&scratch[..n]);
+        }
+        self.scratch = scratch;
+        res
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: once prior frames' bytes dominate the
+        // buffer, slide the tail down so capacity is reused instead of
+        // extended. Amortized O(1) per byte.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame's payload, or `None` if more bytes
+    /// are needed. Call in a loop after each [`push`](FrameDecoder::push):
+    /// one chunk may complete several pipelined frames.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic or oversized length prefix, now and
+    /// on every subsequent call (the stream has lost framing).
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame stream already failed",
+            ));
+        }
+        let avail = self.buf.len() - self.start;
+        if avail < 8 {
+            // Validate whatever prefix of the magic we do have, so 1-byte
+            // garbage fails now instead of after 8 bytes dribble in.
+            let have = &self.buf[self.start..];
+            if !FRAME_MAGIC.starts_with(&have[..have.len().min(4)]) {
+                self.poisoned = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad frame magic",
+                ));
+            }
+            return Ok(None);
+        }
+        let header = &self.buf[self.start..self.start + 8];
+        if header[..4] != FRAME_MAGIC {
+            self.poisoned = true;
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad frame magic",
+            ));
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > self.max_len {
+            self.poisoned = true;
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds cap {}", self.max_len),
+            ));
+        }
+        let total = 8 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload_start = self.start + 8;
+        self.start += total;
+        Ok(Some(&self.buf[payload_start..payload_start + len as usize]))
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Nonzero
+    /// means a frame is in flight — the signal the server's slow-loris
+    /// read deadline keys on.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the stream has lost framing (a prior
+    /// [`next_frame`](FrameDecoder::next_frame) error).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compact response codec (protocol v3).
+//
+// A fixed-layout little-endian encoding of `Response`, written/parsed
+// with no reflection and no intermediate allocations on encode (the
+// caller supplies the output buffer). Tag bytes pin the layout:
+// changing them is a protocol version event, same as the struct shapes
+// above.
+
+const CT_PONG: u8 = 0;
+const CT_CAPABILITIES: u8 = 1;
+const CT_DOCS: u8 = 2;
+const CT_BLOB: u8 = 3;
+const CT_ERR: u8 = 4;
+
+const CE_UNAVAILABLE: u8 = 0;
+const CE_TIMEOUT: u8 = 1;
+const CE_NOT_FOUND: u8 = 2;
+const CE_UNSUPPORTED: u8 = 3;
+const CE_UNKNOWN_NS: u8 = 4;
+const CE_BAD_REQUEST: u8 = 5;
+const CE_VERSION_MISMATCH: u8 = 6;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a response in the compact v3 layout, appending to `out`
+/// (cleared first). Reusing one buffer across responses is the point:
+/// the hot path allocates nothing.
+pub fn encode_response_compact_into(resp: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&resp.id.to_le_bytes());
+    match resp.server_elapsed_us {
+        None => out.push(0),
+        Some(us) => {
+            out.push(1);
+            out.extend_from_slice(&us.to_le_bytes());
+        }
+    }
+    match &resp.body {
+        ResponseBody::Pong { version } => {
+            out.push(CT_PONG);
+            out.extend_from_slice(&version.to_le_bytes());
+        }
+        ResponseBody::Capabilities {
+            version,
+            namespaces,
+        } => {
+            out.push(CT_CAPABILITIES);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&(namespaces.len() as u32).to_le_bytes());
+            for ns in namespaces {
+                put_str(out, ns);
+            }
+        }
+        ResponseBody::Docs(docs) => {
+            out.push(CT_DOCS);
+            out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+            for d in docs {
+                put_str(out, &d.id);
+                put_str(out, &d.title);
+            }
+        }
+        ResponseBody::Blob(bytes) => {
+            out.push(CT_BLOB);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        ResponseBody::Err(err) => {
+            out.push(CT_ERR);
+            match err {
+                WireError::Remote(RemoteError::Unavailable(m)) => {
+                    out.push(CE_UNAVAILABLE);
+                    put_str(out, m);
+                }
+                WireError::Remote(RemoteError::Timeout) => out.push(CE_TIMEOUT),
+                WireError::Remote(RemoteError::NotFound(m)) => {
+                    out.push(CE_NOT_FOUND);
+                    put_str(out, m);
+                }
+                WireError::Remote(RemoteError::UnsupportedQuery(m)) => {
+                    out.push(CE_UNSUPPORTED);
+                    put_str(out, m);
+                }
+                WireError::UnknownNamespace(ns) => {
+                    out.push(CE_UNKNOWN_NS);
+                    put_str(out, ns);
+                }
+                WireError::BadRequest(m) => {
+                    out.push(CE_BAD_REQUEST);
+                    put_str(out, m);
+                }
+                WireError::VersionMismatch { server, client } => {
+                    out.push(CE_VERSION_MISMATCH);
+                    out.extend_from_slice(&server.to_le_bytes());
+                    out.extend_from_slice(&client.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// [`encode_response_compact_into`] into a fresh buffer.
+pub fn encode_response_compact(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_response_compact_into(resp, &mut out);
+    out
+}
+
+struct CompactReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CompactReader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(invalid("response"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| invalid("response"))
+    }
+
+    /// Reads a string into `out`, reusing its allocation when capacity
+    /// suffices.
+    fn str_into(&mut self, out: &mut String) -> io::Result<()> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        let s = std::str::from_utf8(b).map_err(|_| invalid("response"))?;
+        out.clear();
+        out.push_str(s);
+        Ok(())
+    }
+}
+
+/// Decodes a compact v3 response payload.
+///
+/// # Errors
+///
+/// `InvalidData` when the bytes are not a valid compact response
+/// (truncated, unknown tag, trailing garbage, or invalid UTF-8).
+pub fn decode_response_compact(bytes: &[u8]) -> io::Result<Response> {
+    let mut pool = Vec::new();
+    decode_response_compact_reusing(bytes, &mut pool)
+}
+
+/// Like [`decode_response_compact`], but a `Docs` body recycles `pool`:
+/// existing `RemoteDoc` slots (and the strings inside them) are refilled
+/// in place, and the refilled vec is moved into the returned response.
+/// Feeding the vec from one response back in for the next means
+/// steady-state decoding of similarly shaped doc lists allocates
+/// nothing — the client-side twin of the server's reused encode buffer.
+///
+/// On any decode error the pool's contents are unspecified (but valid);
+/// non-`Docs` bodies leave it untouched.
+///
+/// # Errors
+///
+/// `InvalidData` when the bytes are not a valid compact response
+/// (truncated, unknown tag, trailing garbage, or invalid UTF-8).
+pub fn decode_response_compact_reusing(
+    bytes: &[u8],
+    pool: &mut Vec<RemoteDoc>,
+) -> io::Result<Response> {
+    let mut r = CompactReader { bytes, pos: 0 };
+    let id = r.u64()?;
+    let server_elapsed_us = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return Err(invalid("response")),
+    };
+    let body = match r.u8()? {
+        CT_PONG => ResponseBody::Pong { version: r.u16()? },
+        CT_CAPABILITIES => {
+            let version = r.u16()?;
+            let n = r.u32()? as usize;
+            let mut namespaces = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                namespaces.push(r.str()?);
+            }
+            ResponseBody::Capabilities {
+                version,
+                namespaces,
+            }
+        }
+        CT_DOCS => {
+            let n = r.u32()? as usize;
+            pool.truncate(n);
+            pool.reserve(n.min(4096).saturating_sub(pool.len()));
+            for i in 0..n {
+                if let Some(slot) = pool.get_mut(i) {
+                    r.str_into(&mut slot.id)?;
+                    r.str_into(&mut slot.title)?;
+                } else {
+                    let id = r.str()?;
+                    let title = r.str()?;
+                    pool.push(RemoteDoc { id, title });
+                }
+            }
+            ResponseBody::Docs(std::mem::take(pool))
+        }
+        CT_BLOB => {
+            let len = r.u32()? as usize;
+            ResponseBody::Blob(r.take(len)?.to_vec())
+        }
+        CT_ERR => {
+            let err = match r.u8()? {
+                CE_UNAVAILABLE => WireError::Remote(RemoteError::Unavailable(r.str()?)),
+                CE_TIMEOUT => WireError::Remote(RemoteError::Timeout),
+                CE_NOT_FOUND => WireError::Remote(RemoteError::NotFound(r.str()?)),
+                CE_UNSUPPORTED => WireError::Remote(RemoteError::UnsupportedQuery(r.str()?)),
+                CE_UNKNOWN_NS => WireError::UnknownNamespace(r.str()?),
+                CE_BAD_REQUEST => WireError::BadRequest(r.str()?),
+                CE_VERSION_MISMATCH => WireError::VersionMismatch {
+                    server: r.u16()?,
+                    client: r.u16()?,
+                },
+                _ => return Err(invalid("response")),
+            };
+            ResponseBody::Err(err)
+        }
+        _ => return Err(invalid("response")),
+    };
+    if r.pos != bytes.len() {
+        return Err(invalid("response"));
+    }
+    Ok(Response {
+        id,
+        body,
+        server_elapsed_us,
+    })
 }
 
 #[cfg(test)]
@@ -589,6 +1015,205 @@ mod tests {
         }
         assert!(decode_response(&[]).is_err());
         assert!(decode_request(b"garbage").is_err());
+    }
+
+    #[test]
+    fn streaming_decoder_assembles_frames_from_dribbled_bytes() {
+        let payloads: Vec<Vec<u8>> = vec![
+            encode_request(&Request::new(1, RequestBody::Capabilities)),
+            encode_request(&Request::new(
+                2,
+                RequestBody::Fetch {
+                    ns: "web".into(),
+                    doc: "d".into(),
+                },
+            )),
+            vec![],
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        // Feed one byte at a time; every completed frame must match.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.pending_bytes(), 0);
+
+        // Feed everything at once: the loop drains all pipelined frames.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(&stream);
+        let mut got = Vec::new();
+        while let Some(p) = dec.next_frame().unwrap() {
+            got.push(p.to_vec());
+        }
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn streaming_decoder_rejects_bad_magic_and_oversize() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(b"X");
+        assert!(dec.next_frame().is_err(), "1 garbage byte is enough");
+        assert!(dec.is_poisoned());
+        assert!(dec.next_frame().is_err(), "poison sticks");
+
+        let mut dec = FrameDecoder::new(16);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0u8; 64]).unwrap();
+        dec.push(&stream);
+        assert!(dec.next_frame().is_err(), "oversize length prefix refused");
+    }
+
+    #[test]
+    fn streaming_decoder_reports_pending_bytes_mid_frame() {
+        let payload = encode_request(&Request::new(1, RequestBody::Capabilities));
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(&stream[..stream.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.pending_bytes() > 0, "mid-frame: slow-loris signal up");
+        dec.push(&stream[stream.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &payload[..]);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn compact_codec_roundtrips_every_body_shape() {
+        let bodies = vec![
+            ResponseBody::Pong { version: 3 },
+            ResponseBody::Capabilities {
+                version: 3,
+                namespaces: vec!["a".into(), "ø-unicode".into()],
+            },
+            ResponseBody::Docs(vec![
+                RemoteDoc {
+                    id: "u1".into(),
+                    title: "Title".into(),
+                },
+                RemoteDoc {
+                    id: String::new(),
+                    title: String::new(),
+                },
+            ]),
+            ResponseBody::Docs(vec![]),
+            ResponseBody::Blob(vec![0, 255, 7]),
+            ResponseBody::Blob(vec![]),
+            ResponseBody::Err(WireError::Remote(RemoteError::Timeout)),
+            ResponseBody::Err(WireError::Remote(RemoteError::Unavailable("x".into()))),
+            ResponseBody::Err(WireError::Remote(RemoteError::NotFound("n".into()))),
+            ResponseBody::Err(WireError::Remote(RemoteError::UnsupportedQuery("q".into()))),
+            ResponseBody::Err(WireError::UnknownNamespace("zzz".into())),
+            ResponseBody::Err(WireError::BadRequest("nope".into())),
+            ResponseBody::Err(WireError::VersionMismatch {
+                server: 3,
+                client: 9,
+            }),
+        ];
+        let mut buf = Vec::new();
+        for body in bodies {
+            for elapsed in [None, Some(417u64)] {
+                let resp = Response {
+                    id: u64::MAX,
+                    body: body.clone(),
+                    server_elapsed_us: elapsed,
+                };
+                encode_response_compact_into(&resp, &mut buf);
+                assert_eq!(decode_response_compact(&buf).unwrap(), resp);
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_decode_recycles_allocations_and_matches_oneshot() {
+        let docs: Vec<RemoteDoc> = (0..8)
+            .map(|i| RemoteDoc {
+                id: format!("doc{i}"),
+                title: format!("Title {i}"),
+            })
+            .collect();
+        let resp = Response::new(9, ResponseBody::Docs(docs));
+        let buf = encode_response_compact(&resp);
+
+        // Pool longer than the response, with stale oversized strings: the
+        // surviving slots must be refilled in place (same heap buffers).
+        let mut pool: Vec<RemoteDoc> = (0..12)
+            .map(|i| RemoteDoc {
+                id: format!("stale-id-{i}-padding-padding"),
+                title: format!("stale-title-{i}-padding-padding"),
+            })
+            .collect();
+        let before: Vec<*const u8> = pool.iter().take(8).map(|d| d.id.as_ptr()).collect();
+        let got = decode_response_compact_reusing(&buf, &mut pool).unwrap();
+        assert_eq!(got, resp);
+        assert!(pool.is_empty(), "pool vec moves into the response");
+        let ResponseBody::Docs(out) = &got.body else {
+            panic!("docs body expected")
+        };
+        let after: Vec<*const u8> = out.iter().map(|d| d.id.as_ptr()).collect();
+        assert_eq!(before, after, "string allocations must be reused");
+
+        // Pool shorter than the response grows to fit.
+        let mut small = vec![RemoteDoc {
+            id: "x".into(),
+            title: "y".into(),
+        }];
+        assert_eq!(
+            decode_response_compact_reusing(&buf, &mut small).unwrap(),
+            resp
+        );
+
+        // Non-docs bodies leave the pool alone.
+        let pong = encode_response_compact(&Response::new(
+            1,
+            ResponseBody::Pong {
+                version: PROTOCOL_VERSION,
+            },
+        ));
+        let mut untouched = vec![RemoteDoc {
+            id: "keep".into(),
+            title: "me".into(),
+        }];
+        decode_response_compact_reusing(&pong, &mut untouched).unwrap();
+        assert_eq!(untouched.len(), 1);
+        assert_eq!(untouched[0].id, "keep");
+    }
+
+    #[test]
+    fn compact_codec_rejects_garbage() {
+        assert!(decode_response_compact(&[]).is_err());
+        let good = encode_response_compact(&Response::new(
+            7,
+            ResponseBody::Docs(vec![RemoteDoc {
+                id: "a".into(),
+                title: "b".into(),
+            }]),
+        ));
+        for cut in 0..good.len() {
+            assert!(
+                decode_response_compact(&good[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(
+            decode_response_compact(&trailing).is_err(),
+            "trailing garbage must fail"
+        );
+        for i in 0..good.len() {
+            let mut garbled = good.clone();
+            garbled[i] ^= 0xFF;
+            // Any outcome but a panic is fine.
+            let _ = decode_response_compact(&garbled);
+        }
     }
 
     #[test]

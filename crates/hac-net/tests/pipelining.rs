@@ -1,0 +1,179 @@
+//! Client pipelining regression: with `pipeline_depth > 1`, concurrent
+//! callers share a single connection, the server completes requests out
+//! of order, and every response still lands with the caller that asked —
+//! a slow search does not head-of-line-block a fast one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+use hac_index::ContentExpr;
+use hac_net::{ClientConfig, HacServer, NetRemote, ServerConfig};
+
+/// A backend whose `search` latency is encoded in the query term itself:
+/// `slow` sleeps long enough that any head-of-line blocking is visible,
+/// everything else answers almost immediately. Each response names the
+/// term it answered, so misrouted responses are detectable.
+struct SleepyBackend {
+    ns: &'static str,
+    searches: AtomicUsize,
+}
+
+impl RemoteQuerySystem for SleepyBackend {
+    fn namespace(&self) -> NamespaceId {
+        NamespaceId(self.ns.to_string())
+    }
+
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+        let term = match query {
+            ContentExpr::Term(t) => t.clone(),
+            other => format!("{other:?}"),
+        };
+        if term == "slow" {
+            std::thread::sleep(Duration::from_millis(400));
+        } else {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let n = self.searches.fetch_add(1, Ordering::SeqCst);
+        Ok(vec![RemoteDoc {
+            id: format!("{term}-{n}"),
+            title: format!("answer to {term}"),
+        }])
+    }
+
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+        Ok(id.as_bytes().to_vec())
+    }
+}
+
+#[test]
+fn out_of_order_responses_reach_the_callers_that_asked() {
+    let ns = "pipeline-regression";
+    let server = HacServer::serve(
+        "127.0.0.1:0",
+        vec![Arc::new(SleepyBackend {
+            ns,
+            searches: AtomicUsize::new(0),
+        })],
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // One socket, eight requests deep: every caller below shares it.
+    let client = Arc::new(NetRemote::connect(
+        ns,
+        &addr,
+        ClientConfig {
+            max_connections: 1,
+            pipeline_depth: 8,
+            ..ClientConfig::default()
+        },
+    ));
+
+    // The slow search goes out first and owns the wire until the fast
+    // ones are pipelined behind it.
+    let slow = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            let docs = client.search(&ContentExpr::Term("slow".into())).unwrap();
+            (Instant::now(), docs)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    let fast_callers: Vec<_> = (0..4)
+        .map(|i| {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                let term = format!("fast{i}");
+                let docs = client.search(&ContentExpr::Term(term.clone())).unwrap();
+                (Instant::now(), term, docs)
+            })
+        })
+        .collect();
+
+    let fast_deadline = Instant::now() + Duration::from_millis(300);
+    for handle in fast_callers {
+        let (done, term, docs) = handle.join().unwrap();
+        // Out-of-order completion: each fast search finished while the
+        // slow one was still sleeping server-side.
+        assert!(
+            done < fast_deadline,
+            "fast caller {term} was head-of-line blocked behind the slow search"
+        );
+        // Routing: the response carries the very term this caller sent.
+        assert_eq!(docs.len(), 1, "{term}: {docs:?}");
+        assert!(
+            docs[0].id.starts_with(&format!("{term}-")),
+            "caller for {term} received someone else's response: {docs:?}"
+        );
+    }
+
+    let (slow_done, slow_docs) = slow.join().unwrap();
+    assert!(slow_done >= fast_deadline - Duration::from_millis(300));
+    assert_eq!(slow_docs.len(), 1);
+    assert!(
+        slow_docs[0].id.starts_with("slow-"),
+        "slow caller received someone else's response: {slow_docs:?}"
+    );
+
+    // All five requests shared one multiplexed socket.
+    assert_eq!(
+        hac_obs::gauge("hac_net_pool_size", &[("ns", ns)]).get(),
+        1,
+        "pipelined callers must share the single allowed connection"
+    );
+
+    client.disconnect();
+    server.shutdown();
+}
+
+#[test]
+fn deadline_abandonment_leaves_the_shared_socket_healthy() {
+    let ns = "pipeline-abandon";
+    let server = HacServer::serve(
+        "127.0.0.1:0",
+        vec![Arc::new(SleepyBackend {
+            ns,
+            searches: AtomicUsize::new(0),
+        })],
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut config = ClientConfig {
+        max_connections: 1,
+        pipeline_depth: 8,
+        ..ClientConfig::default()
+    };
+    // Tight deadline, no retries: the slow search must time out client-side
+    // while the server is still working on it.
+    config.retry.max_attempts = 1;
+    config.retry.request_timeout = Duration::from_millis(100);
+    let client = Arc::new(NetRemote::connect(ns, &addr, config));
+
+    let err = client
+        .search(&ContentExpr::Term("slow".into()))
+        .unwrap_err();
+    assert!(matches!(err, RemoteError::Timeout), "got {err:?}");
+
+    // The abandoned id's late response arrives as a stray and is dropped;
+    // the same socket keeps serving fast requests correctly afterwards.
+    for i in 0..3 {
+        let term = format!("after{i}");
+        let docs = client.search(&ContentExpr::Term(term.clone())).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert!(docs[0].id.starts_with(&format!("{term}-")), "{docs:?}");
+    }
+    assert_eq!(
+        hac_obs::gauge("hac_net_pool_size", &[("ns", ns)]).get(),
+        1,
+        "the timed-out request must not have poisoned or replaced the socket"
+    );
+
+    client.disconnect();
+    server.shutdown();
+}

@@ -148,12 +148,98 @@ proptest! {
         // Either decodes to *something* or errors — must not panic.
         let _ = wire::decode_request(&payload);
     }
+
+    /// The streaming decoder fed arbitrary chunkings of a frame stream
+    /// must recover exactly the frames the one-shot reader sees — byte
+    /// boundaries on the wire carry no meaning.
+    #[test]
+    fn streaming_decoder_matches_one_shot_reader(
+        bodies in proptest::collection::vec(response_strategy(), 1..5),
+        splits in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        // Build the wire stream and remember each payload.
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for (i, body) in bodies.into_iter().enumerate() {
+            let payload = wire::encode_response(&Response::new(i as u64, body));
+            wire::write_frame(&mut stream, &payload).unwrap();
+            expected.push(payload);
+        }
+        // One-shot reference: read every frame from the full buffer.
+        let mut cursor = stream.as_slice();
+        let mut one_shot = Vec::new();
+        while !cursor.is_empty() {
+            one_shot.push(wire::read_frame(&mut cursor, wire::DEFAULT_MAX_FRAME_LEN).unwrap());
+        }
+        prop_assert_eq!(&one_shot, &expected);
+        // Streaming: cut the same bytes at arbitrary points.
+        let mut cuts: Vec<usize> = splits.iter().map(|s| s % (stream.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut decoder = wire::FrameDecoder::new(wire::DEFAULT_MAX_FRAME_LEN);
+        let mut streamed = Vec::new();
+        for window in cuts.windows(2) {
+            decoder.push(&stream[window[0]..window[1]]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                streamed.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(streamed, one_shot);
+        prop_assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    /// Corrupting the magic poisons the streaming decoder with the same
+    /// class of error the one-shot reader reports, however the bytes were
+    /// chunked on their way in.
+    #[test]
+    fn streaming_decoder_errors_match_one_shot_errors(
+        body in response_strategy(),
+        flip in 0usize..4,
+        xor in 1u8..255,
+        split in any::<usize>(),
+    ) {
+        let payload = wire::encode_response(&Response::new(7, body));
+        let mut stream = Vec::new();
+        wire::write_frame(&mut stream, &payload).unwrap();
+        stream[flip] ^= xor; // corrupt one magic byte
+        let one_shot = wire::read_frame(&mut stream.as_slice(), wire::DEFAULT_MAX_FRAME_LEN)
+            .expect_err("corrupted magic must not frame");
+        let mut decoder = wire::FrameDecoder::new(wire::DEFAULT_MAX_FRAME_LEN);
+        let cut = split % (stream.len() + 1);
+        decoder.push(&stream[..cut]);
+        let mut streamed = decoder.next_frame().map(|f| f.is_some());
+        if matches!(streamed, Ok(false)) {
+            decoder.push(&stream[cut..]);
+            streamed = decoder.next_frame().map(|f| f.is_some());
+        }
+        let streamed = streamed.expect_err("corrupted magic must poison the decoder");
+        prop_assert_eq!(streamed.kind(), one_shot.kind());
+        prop_assert!(decoder.is_poisoned());
+    }
+
+    /// Every response shape survives the compact (v3) codec bit-for-bit,
+    /// exactly as it survives the persist codec.
+    #[test]
+    fn compact_codec_roundtrips_every_response(
+        id in any::<u64>(),
+        body in response_strategy(),
+        timed in any::<bool>(),
+        elapsed in any::<u64>(),
+    ) {
+        let resp = Response { id, body, server_elapsed_us: timed.then_some(elapsed) };
+        let bytes = wire::encode_response_compact(&resp);
+        let back = wire::decode_response_compact(&bytes).unwrap();
+        prop_assert_eq!(back, resp);
+    }
 }
 
 #[test]
 fn version_constant_is_stable() {
     // Bumping the protocol version is a compatibility event; this test
-    // makes it a conscious one.
-    assert_eq!(PROTOCOL_VERSION, 2);
+    // makes it a conscious one. v3 introduced the compact response codec
+    // (negotiated per connection; v1/v2 peers never see it).
+    assert_eq!(PROTOCOL_VERSION, 3);
     assert_eq!(MIN_PROTOCOL_VERSION, 1);
 }

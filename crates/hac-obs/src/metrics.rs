@@ -244,7 +244,40 @@ const CURATED_HELP: &[(&str, &str)] = &[
     ),
     (
         "hac_net_server_rejected_total",
-        "Connections shed at the full accept queue",
+        "Connections rejected at accept past max_connections",
+    ),
+    ("hac_net_server_wakeups_total", "Event-loop poller wakeups"),
+    (
+        "hac_net_server_ready_events_total",
+        "Readiness events delivered per poller wakeup",
+    ),
+    (
+        "hac_net_server_pipeline_depth",
+        "In-flight pipelined requests per connection",
+    ),
+    (
+        "hac_net_server_frames_per_flush",
+        "Response frames batched into one socket flush",
+    ),
+    (
+        "hac_net_server_inline_total",
+        "Requests served on the event-loop thread (cost model)",
+    ),
+    (
+        "hac_net_server_offloaded_total",
+        "Requests dispatched to the CPU worker pool",
+    ),
+    (
+        "hac_net_server_reaped_total",
+        "Connections reaped, by reason (idle, slow-read, write-stall)",
+    ),
+    (
+        "hac_net_server_workers",
+        "CPU worker threads serving offloaded requests",
+    ),
+    (
+        "hac_net_stray_responses_total",
+        "Pipelined responses with no waiting caller",
     ),
     ("hac_store_commit_us", "Durable index store commit latency"),
     (

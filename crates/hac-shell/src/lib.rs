@@ -419,7 +419,22 @@ impl Shell {
                     None => Ok("no server running\n".to_string()),
                 },
                 [word] if word == "status" => Ok(match &self.server {
-                    Some(s) => format!("serving on {}\n", s.local_addr()),
+                    Some(s) => {
+                        let st = s.loop_stats();
+                        format!(
+                            "serving on {}\nloop: {} active conns \
+                             ({} accepted, {} rejected), {} wakeups, \
+                             {} inline / {} offloaded, {} workers\n",
+                            s.local_addr(),
+                            st.active_connections,
+                            st.connections_total,
+                            st.rejected_total,
+                            st.wakeups_total,
+                            st.inline_total,
+                            st.offloaded_total,
+                            st.workers,
+                        )
+                    }
                     None => "no server running\n".to_string(),
                 }),
                 [addr, ns, rest @ ..] if rest.len() <= 1 => {
@@ -1057,10 +1072,10 @@ mod tests {
         let out = exporter.exec("serve 127.0.0.1:0 team /pub").unwrap();
         assert!(out.contains("serving team on tcp://"), "{out}");
         let addr = exporter.server_addr().expect("server running");
-        assert!(exporter
-            .exec("serve status")
-            .unwrap()
-            .contains(&addr.to_string()));
+        let status = exporter.exec("serve status").unwrap();
+        assert!(status.contains(&addr.to_string()), "{status}");
+        assert!(status.contains("loop:"), "{status}");
+        assert!(status.contains("workers"), "{status}");
         assert!(matches!(
             exporter.exec("serve 127.0.0.1:0 again"),
             Err(ShellError::Usage(_))

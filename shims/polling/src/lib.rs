@@ -1,0 +1,659 @@
+//! Offline stand-in for the `polling` crate: a minimal readiness poller.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small API subset it actually uses. On Linux the
+//! poller is a thin wrapper over `epoll` (O(ready) wakeups — the 10k-
+//! connection case the evented `hac-net` server is built for); on other
+//! unix platforms it degrades to `poll(2)` (O(registered) per wait, still
+//! correct). Both backends are level-triggered.
+//!
+//! The only unsafe code in the networking stack lives here: raw syscall
+//! declarations against the C library `std` already links. `hac-net`
+//! itself stays `#![forbid(unsafe_code)]`.
+//!
+//! Cross-thread wakeups use a self-pipe registered under a reserved key;
+//! [`Poller::notify`] writes one byte, [`Poller::wait`] drains it and
+//! returns without surfacing the internal event. User keys must therefore
+//! be below [`NOTIFY_KEY`].
+
+#![cfg(unix)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Reserved key for the internal wakeup pipe; user keys must be below it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// What readiness to watch a file descriptor for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event returned by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: usize,
+    /// Readable (includes peer hangup/error — a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// A readiness poller over nonblocking file descriptors.
+pub struct Poller {
+    sys: sys::Selector,
+    wake_read: RawFd,
+    wake_write: RawFd,
+}
+
+impl Poller {
+    /// Creates a poller with its wakeup pipe already registered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures (fd exhaustion, kernel limits).
+    pub fn new() -> io::Result<Poller> {
+        let sys = sys::Selector::new()?;
+        let (wake_read, wake_write) = sys::pipe_nonblocking()?;
+        sys.add(wake_read, NOTIFY_KEY, Interest::READ)?;
+        Ok(Poller {
+            sys,
+            wake_read,
+            wake_write,
+        })
+    }
+
+    /// Registers `fd` under `key`. The fd should already be nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for the reserved key; otherwise syscall errors.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key reserved for the poller's wakeup pipe",
+            ));
+        }
+        self.sys.add(fd, key, interest)
+    }
+
+    /// Changes what `fd` (registered under `key`) is watched for.
+    ///
+    /// # Errors
+    ///
+    /// Syscall errors (e.g. the fd was never registered).
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.sys.modify(fd, key, interest)
+    }
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Syscall errors (e.g. the fd was never registered).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.sys.delete(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout` expires
+    /// (`None` = forever), or [`notify`](Poller::notify) is called.
+    /// Internal wakeup events are drained and not surfaced; an empty
+    /// result therefore means timeout *or* notification.
+    ///
+    /// # Errors
+    ///
+    /// Syscall errors. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.sys.wait(events, timeout)?;
+        let mut notified = false;
+        events.retain(|e| {
+            if e.key == NOTIFY_KEY {
+                notified = true;
+                false
+            } else {
+                true
+            }
+        });
+        if notified {
+            sys::drain(self.wake_read);
+        }
+        Ok(events.len())
+    }
+
+    /// Wakes a concurrent [`wait`](Poller::wait) from another thread.
+    /// Safe to call at any time; coalesces with pending notifications.
+    pub fn notify(&self) {
+        sys::write_byte(self.wake_write);
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.wake_read);
+        sys::close_fd(self.wake_write);
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to at least `want` descriptors (capped
+/// at the hard limit). Lets connection-soak tests and benches open a few
+/// thousand sockets on systems whose default soft limit is 1024.
+///
+/// # Errors
+///
+/// Propagates `getrlimit`/`setrlimit` failures.
+pub fn ensure_nofile(want: u64) -> io::Result<u64> {
+    sys::ensure_nofile(want)
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+    const RLIMIT_NOFILE: c_int = 7;
+
+    // The kernel packs epoll_event on x86_64 only.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: key as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let ms: c_int = match timeout {
+                None => -1,
+                // Round up so a 100µs deadline does not spin at timeout 0.
+                Some(d) => {
+                    d.as_millis().min(i32::MAX as u128) as c_int
+                        + c_int::from(d.subsec_micros() % 1000 != 0)
+                }
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let rc = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), 256, ms) };
+            let n = if rc >= 0 {
+                rc as usize
+            } else {
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // Interrupted: report an empty (timeout-like) wait rather
+                // than re-arming with the original timeout and oversleeping.
+                0
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    key: ev.data as usize,
+                    // Errors and hangups surface as readable: the next read
+                    // returns 0/error instead of blocking.
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            close_fd(self.epfd);
+        }
+    }
+
+    pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0 as c_int; 2];
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) } > 0 {}
+    }
+
+    pub fn write_byte(fd: RawFd) {
+        let b = [1u8];
+        // A full pipe already guarantees a pending wakeup; ignore errors.
+        let _ = unsafe { write(fd, b.as_ptr().cast::<c_void>(), 1) };
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        let _ = unsafe { close(fd) };
+    }
+
+    pub fn ensure_nofile(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        let raised = RLimit {
+            cur: want.min(lim.max),
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(raised.cur)
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) backend: portable, O(registered fds) per wait.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_void};
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const O_NONBLOCK: c_int = 0o4;
+    const F_SETFL: c_int = 4;
+    const RLIMIT_NOFILE: c_int = 8;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    pub struct Selector {
+        registered: Mutex<Vec<(RawFd, usize, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poll registry");
+            if reg.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.push((fd, key, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poll registry");
+            for slot in reg.iter_mut() {
+                if slot.0 == fd {
+                    *slot = (fd, key, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poll registry");
+            let before = reg.len();
+            reg.retain(|(f, _, _)| *f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, usize, Interest)> =
+                self.registered.lock().expect("poll registry").clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let ms: c_int = match timeout {
+                None => -1,
+                Some(d) => {
+                    d.as_millis().min(i32::MAX as u128) as c_int
+                        + c_int::from(d.subsec_micros() % 1000 != 0)
+                }
+            };
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, (_, key, _)) in fds.iter().zip(snapshot.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    key: *key,
+                    readable: pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: pfd.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) } > 0 {}
+    }
+
+    pub fn write_byte(fd: RawFd) {
+        let b = [1u8];
+        let _ = unsafe { write(fd, b.as_ptr().cast::<c_void>(), 1) };
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        let _ = unsafe { close(fd) };
+    }
+
+    pub fn ensure_nofile(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        let raised = RLimit {
+            cur: want.min(lim.max),
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(raised.cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn readiness_on_a_loopback_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 1);
+        assert!(events[0].readable);
+
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .add(server_side.as_raw_fd(), 2, Interest::READ)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.key == 2 && e.readable));
+
+        // Write interest on an empty socket buffer fires immediately.
+        poller
+            .modify(server_side.as_raw_fd(), 2, Interest::BOTH)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.writable));
+
+        poller.delete(server_side.as_raw_fd()).unwrap();
+        poller.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .add(server_side.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "hangup must surface as readable");
+        let mut buf = [0u8; 8];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "read sees EOF, not a block");
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "notification is internal, not a user event");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "notify must interrupt the wait"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reserved_key_is_refused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        assert!(poller
+            .add(listener.as_raw_fd(), NOTIFY_KEY, Interest::READ)
+            .is_err());
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised() {
+        let got = ensure_nofile(256).unwrap();
+        assert!(got >= 256);
+    }
+}
