@@ -214,6 +214,63 @@ pub trait RemoteQuerySystem: Send + Sync {
     ///
     /// [`RemoteError::NotFound`] for unknown ids, plus connectivity errors.
     fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError>;
+
+    /// Whether the most recent successful [`search`](Self::search) on this
+    /// remote returned *partial* results — a federated coordinator that
+    /// lost one or more shards mid-fan-out degrades to the union of the
+    /// shards that answered and raises this marker instead of failing the
+    /// whole query. Plain single-endpoint remotes are never partial.
+    ///
+    /// Semantic directory resync consults this flag: links imported from a
+    /// partial namespace are refreshed *additively* (new hits appear,
+    /// previously imported links survive), exactly like the
+    /// keep-on-failure rule, so a dead shard can hide documents but never
+    /// poison semdir state.
+    fn last_partial(&self) -> bool {
+        false
+    }
+
+    /// The remote's current durable-index manifest (HACM bytes), the root
+    /// of segment-shipped replication. Remotes without a durable store
+    /// report [`RemoteError::UnsupportedQuery`].
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::UnsupportedQuery`] when the remote has no store,
+    /// plus connectivity errors.
+    fn manifest_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::UnsupportedQuery(
+            "remote has no durable store".to_string(),
+        ))
+    }
+
+    /// One content-addressed store object (segment, snapshot, or path
+    /// sidecar) by hex hash — the fetch half of segment shipping. The
+    /// caller verifies the returned bytes hash to `hash` before trusting
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::NotFound`] for unknown hashes,
+    /// [`RemoteError::UnsupportedQuery`] when the remote has no store.
+    fn object_bytes(&self, hash: &str) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::UnsupportedQuery(format!(
+            "remote has no durable store (object {hash})"
+        )))
+    }
+
+    /// The shard map (HACF bytes) this remote belongs to, if it is one
+    /// shard of a federated namespace. A client that mounts `fed://` asks
+    /// any shard for the map, so clients and coordinator always agree on
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::NotFound`] when this remote is not part of a
+    /// federation, plus connectivity errors.
+    fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::NotFound("no shard map".to_string()))
+    }
 }
 
 #[cfg(test)]

@@ -887,6 +887,10 @@ impl HacState {
     /// universe scope, ship the content projection and refine by the
     /// universe's id set. A failing namespace is reported in the second
     /// return value and its previously imported links are left untouched.
+    /// The third return value lists namespaces that answered but flagged
+    /// the result as *partial* (a federated coordinator missing a shard):
+    /// their results are applied additively — see
+    /// [`RemoteQuerySystem::last_partial`].
     #[allow(clippy::type_complexity)]
     pub fn eval_remote(
         &self,
@@ -895,11 +899,13 @@ impl HacState {
     ) -> (
         HashMap<NamespaceId, HashMap<String, String>>,
         Vec<(NamespaceId, crate::remote::RemoteError)>,
+        HashSet<NamespaceId>,
     ) {
         let mut results = HashMap::new();
         let mut errors = Vec::new();
+        let mut partial = HashSet::new();
         if universe.remotes.is_empty() {
-            return (results, errors);
+            return (results, errors, partial);
         }
         let projection = query.expr.content_projection();
         for (ns, set) in &universe.remotes {
@@ -914,12 +920,17 @@ impl HacState {
                         .filter(|d| set.contains(&d.id))
                         .map(|d| (d.id, d.title))
                         .collect();
+                    if remote.last_partial() {
+                        hac_obs::counter("hac_remote_partial_results_total", &[("ns", &ns.0)])
+                            .inc();
+                        partial.insert(ns.clone());
+                    }
                     results.insert(ns.clone(), filtered);
                 }
                 Err(e) => errors.push((ns.clone(), e)),
             }
         }
-        (results, errors)
+        (results, errors, partial)
     }
 
     /// Finds a mounted remote by namespace id.
@@ -1024,10 +1035,17 @@ impl HacState {
             }
         }
 
-        // Remote desired sets.
-        let (remote_results, remote_errors) = self.eval_remote(&query, &universe);
-        let failed_ns: HashSet<NamespaceId> =
-            remote_errors.iter().map(|(ns, _)| ns.clone()).collect();
+        // Remote desired sets. A *partial* namespace (federated
+        // coordinator missing a shard) is treated like a failed one for
+        // link removal — the missing shard's documents are absent from the
+        // result, not absent from the corpus — while its results still add
+        // links, so the shards that answered stay fresh.
+        let (remote_results, remote_errors, partial_ns) = self.eval_remote(&query, &universe);
+        let failed_ns: HashSet<NamespaceId> = remote_errors
+            .iter()
+            .map(|(ns, _)| ns.clone())
+            .chain(partial_ns.iter().cloned())
+            .collect();
 
         let sd = self
             .semdirs

@@ -483,6 +483,25 @@ impl IndexStore {
         self.inner.lock().next_seq
     }
 
+    /// The current manifest, encoded (HACM bytes) — the export root for
+    /// segment-shipped replication. Always a committed state: the inner
+    /// mutex means no half-finished commit can be observed.
+    pub fn export_manifest(&self) -> Vec<u8> {
+        self.inner.lock().manifest.encode()
+    }
+
+    /// One live store object by content hash — segments, the base
+    /// snapshot, or the path sidecar. Replicas pull exactly the objects
+    /// the manifest names; the backend verifies bytes against the hash on
+    /// read, so a corrupt object fails here rather than on the replica.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown hashes, plus backend I/O.
+    pub fn export_object(&self, hash: ContentHash) -> StoreResult<Vec<u8>> {
+        self.backend.get(hash)
+    }
+
     fn swap_manifest(&self, inner: &mut StoreInner, manifest: Manifest) -> StoreResult<()> {
         let hash = self.backend.put(&manifest.encode())?;
         self.backend.set_ref("current", hash)?;

@@ -1,0 +1,631 @@
+//! The federation coordinator: scatter-gather queries over N shards.
+//!
+//! [`FedRemote`] implements `RemoteQuerySystem`, so a federated
+//! namespace mounts through `smount` exactly like a single remote one —
+//! the semantic-directory machinery never learns that its backend fans
+//! out. Queries scatter to every shard concurrently (each shard client
+//! is a pipelined `hac-net` mux connection), results union by document
+//! id, and the whole fan-out runs under **one deadline budget**: a shard
+//! that cannot answer in time degrades the response to an explicitly
+//! flagged *partial* result instead of stalling or failing the mount.
+//!
+//! Degradation contract, in order of preference:
+//!
+//! 1. Shard answers → its documents are in the result.
+//! 2. Shard errors retriably and has a read replica → the replica is
+//!    tried within the same budget (failover).
+//! 3. Shard (and replicas) fail or miss the deadline → the result is
+//!    returned **without** that shard's documents and
+//!    [`FedRemote::last_partial`] reports `true`; semdir resync then
+//!    treats the namespace additively (keeps previously imported links,
+//!    adds new ones) rather than dropping state it cannot re-verify.
+//! 4. Every shard fails → the query errors ([`RemoteError::Unavailable`])
+//!    like a single dead server would.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+use hac_index::ContentExpr;
+use hac_net::client::{ClientConfig, NetRemote};
+
+use crate::map::ShardMap;
+use crate::FedError;
+
+/// Tuning for a [`FedRemote`].
+#[derive(Debug, Clone)]
+pub struct FedConfig {
+    /// Per-shard transport tuning. The default raises `pipeline_depth`
+    /// above one so each shard client multiplexes its connection.
+    pub client: ClientConfig,
+    /// Deadline budget for one whole fan-out: scatter, per-shard
+    /// evaluation, failover, and gather all share it. A shard that has
+    /// not answered when it expires is dropped from the (partial) result.
+    pub fanout_budget: Duration,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        FedConfig {
+            client: ClientConfig {
+                pipeline_depth: 4,
+                ..ClientConfig::default()
+            },
+            fanout_budget: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Live health counters for one shard, aggregated since construction.
+#[derive(Debug, Default)]
+struct ShardStats {
+    ok: AtomicU64,
+    errors: AtomicU64,
+    failovers: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// A point-in-time snapshot of one shard's health, for `fed status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard namespace (e.g. `lib.2`).
+    pub ns: String,
+    /// The primary's address.
+    pub addr: String,
+    /// Read replicas attached for failover.
+    pub replicas: usize,
+    /// Successful shard answers.
+    pub ok: u64,
+    /// Failed shard answers (after failover, if any).
+    pub errors: u64,
+    /// Answers served by a replica after the primary failed.
+    pub failovers: u64,
+    /// Fan-outs this shard failed to answer within the budget.
+    pub timeouts: u64,
+}
+
+/// A point-in-time snapshot of the federation, for `fed status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FedStatus {
+    /// The logical namespace clients mount.
+    pub logical: String,
+    /// Placement generation of the map in use.
+    pub generation: u64,
+    /// Whether the most recent query degraded to a partial result.
+    pub last_partial: bool,
+    /// Per-shard health.
+    pub shards: Vec<ShardStatus>,
+}
+
+/// One shard's client set: the primary plus failover replicas.
+struct Shard {
+    primary: Arc<dyn RemoteQuerySystem>,
+    replicas: Mutex<Vec<Arc<dyn RemoteQuerySystem>>>,
+    stats: ShardStats,
+}
+
+/// Scatter-gather coordinator over a [`ShardMap`].
+///
+/// Implements `RemoteQuerySystem` for the *logical* namespace; drop it
+/// into `HacFs::smount` like any other remote backend.
+pub struct FedRemote {
+    ns: NamespaceId,
+    map: Arc<ShardMap>,
+    shards: Vec<Arc<Shard>>,
+    budget: Duration,
+    partial: AtomicBool,
+}
+
+impl FedRemote {
+    /// Connect a coordinator to every shard in `map` over `hac-net`.
+    ///
+    /// Dialing is lazy (inherited from [`NetRemote`]): construction does
+    /// no I/O, and a shard that is down only costs its fan-outs.
+    pub fn connect(map: ShardMap, config: FedConfig) -> FedRemote {
+        let backends = map
+            .shards
+            .iter()
+            .map(|s| {
+                Arc::new(NetRemote::connect(&s.ns, &s.addr, config.client.clone()))
+                    as Arc<dyn RemoteQuerySystem>
+            })
+            .collect();
+        FedRemote::with_backends(map, backends, config.fanout_budget)
+    }
+
+    /// Build a coordinator over explicit shard backends (one per map
+    /// entry, in placement order). This is the transport-free seam the
+    /// federation tests and proptests use; [`FedRemote::connect`] is the
+    /// same thing with `NetRemote` backends.
+    ///
+    /// # Panics
+    ///
+    /// If `backends.len()` disagrees with the map's shard count.
+    pub fn with_backends(
+        map: ShardMap,
+        backends: Vec<Arc<dyn RemoteQuerySystem>>,
+        fanout_budget: Duration,
+    ) -> FedRemote {
+        assert_eq!(
+            backends.len(),
+            map.shard_count(),
+            "one backend per shard map entry"
+        );
+        FedRemote {
+            ns: NamespaceId(map.logical.clone()),
+            map: Arc::new(map),
+            shards: backends
+                .into_iter()
+                .map(|primary| {
+                    Arc::new(Shard {
+                        primary,
+                        replicas: Mutex::new(Vec::new()),
+                        stats: ShardStats::default(),
+                    })
+                })
+                .collect(),
+            budget: fanout_budget,
+            partial: AtomicBool::new(false),
+        }
+    }
+
+    /// Fetch the shard map from a running shard server and connect to
+    /// the whole federation it describes. `addr` is any shard's
+    /// `host:port`; `logical` is the logical namespace (the server is
+    /// probed via capabilities for a shard namespace of that family, so
+    /// callers need not know shard numbering).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the probe, or [`FedError::Store`] when the
+    /// returned map fails validation.
+    pub fn discover(logical: &str, addr: &str, config: FedConfig) -> Result<FedRemote, FedError> {
+        let probe = NetRemote::connect(logical, addr, config.client.clone());
+        let namespaces = probe.capabilities()?;
+        let family = format!("{logical}.");
+        let shard_ns = namespaces
+            .iter()
+            .find(|n| n.as_str() == logical || n.starts_with(&family))
+            .ok_or_else(|| {
+                RemoteError::NotFound(format!("no shard of `{logical}` exported at {addr}"))
+            })?;
+        let shard = NetRemote::connect(shard_ns, addr, config.client.clone());
+        let map = ShardMap::decode(&shard.shard_map_bytes()?)?;
+        Ok(FedRemote::connect(map, config))
+    }
+
+    /// Attach a read replica to shard `shard`; it is tried, in
+    /// attachment order, when the primary fails retriably mid-fan-out.
+    ///
+    /// # Panics
+    ///
+    /// If `shard` is out of range.
+    pub fn add_replica(&self, shard: usize, replica: Arc<dyn RemoteQuerySystem>) {
+        self.shards[shard].replicas.lock().unwrap().push(replica);
+    }
+
+    /// The placement map this coordinator routes with.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Point-in-time federation health, for `fed status`.
+    pub fn status(&self) -> FedStatus {
+        FedStatus {
+            logical: self.map.logical.clone(),
+            generation: self.map.generation,
+            last_partial: self.partial.load(Ordering::Relaxed),
+            shards: self
+                .map
+                .shards
+                .iter()
+                .zip(&self.shards)
+                .map(|(entry, shard)| ShardStatus {
+                    ns: entry.ns.clone(),
+                    addr: entry.addr.clone(),
+                    replicas: shard.replicas.lock().unwrap().len(),
+                    ok: shard.stats.ok.load(Ordering::Relaxed),
+                    errors: shard.stats.errors.load(Ordering::Relaxed),
+                    failovers: shard.stats.failovers.load(Ordering::Relaxed),
+                    timeouts: shard.stats.timeouts.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Whether failing over to a replica can help: transport-shaped errors
+/// can; semantic refusals (`NotFound`, `UnsupportedQuery`) would repeat.
+fn retriable(e: &RemoteError) -> bool {
+    matches!(e, RemoteError::Unavailable(_) | RemoteError::Timeout)
+}
+
+/// One shard's slice of a fan-out: primary first, replicas on retriable
+/// failure. Runs on a detached worker thread; returns the final verdict
+/// and whether a replica served it.
+fn query_shard(shard: &Shard, query: &ContentExpr) -> (Result<Vec<RemoteDoc>, RemoteError>, bool) {
+    match shard.primary.search(query) {
+        Ok(docs) => (Ok(docs), false),
+        Err(e) if retriable(&e) => {
+            let replicas = shard.replicas.lock().unwrap().clone();
+            for r in replicas {
+                if let Ok(docs) = r.search(query) {
+                    return (Ok(docs), true);
+                }
+            }
+            (Err(e), false)
+        }
+        Err(e) => (Err(e), false),
+    }
+}
+
+impl RemoteQuerySystem for FedRemote {
+    fn namespace(&self) -> NamespaceId {
+        self.ns.clone()
+    }
+
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+        let ns = self.ns.0.as_str();
+        let total = self.shards.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let started = Instant::now();
+        let deadline = started + self.budget;
+        let _span = hac_obs::span!("fed_scatter", ns = ns, shards = total);
+        hac_obs::counter("hac_fed_scatter_total", &[("ns", ns)]).inc();
+
+        // Scatter: one detached worker per shard. Workers that outlive
+        // the deadline send into a dropped receiver, which is harmless —
+        // the budget bounds the *caller*, not the shard.
+        let (tx, rx) = mpsc::channel();
+        let ctx = hac_obs::current_trace();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = Arc::clone(shard);
+            let query = query.clone();
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let _trace = ctx.map(hac_obs::continue_trace);
+                let _span = hac_obs::span!("fed_shard_query", shard = i);
+                let (result, via_replica) = query_shard(&shard, &query);
+                let _ = tx.send((i, result, via_replica));
+            });
+        }
+        drop(tx);
+
+        // Gather under the shared budget.
+        let mut docs: Vec<RemoteDoc> = Vec::new();
+        let mut answered = vec![false; total];
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        let mut last_err: Option<RemoteError> = None;
+        while ok + failed < total {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok((i, result, via_replica)) => {
+                    answered[i] = true;
+                    let stats = &self.shards[i].stats;
+                    if via_replica {
+                        stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        hac_obs::counter("hac_fed_failover_total", &[("ns", ns)]).inc();
+                    }
+                    match result {
+                        Ok(shard_docs) => {
+                            ok += 1;
+                            stats.ok.fetch_add(1, Ordering::Relaxed);
+                            docs.extend(shard_docs);
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                            hac_obs::counter(
+                                "hac_fed_shard_errors_total",
+                                &[("ns", ns), ("shard", &self.map.shards[i].ns)],
+                            )
+                            .inc();
+                            last_err = Some(e);
+                        }
+                    }
+                }
+                Err(_) => break, // deadline or all workers gone
+            }
+        }
+        for (i, done) in answered.iter().enumerate() {
+            if !done {
+                self.shards[i]
+                    .stats
+                    .timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                hac_obs::counter(
+                    "hac_fed_shard_timeouts_total",
+                    &[("ns", ns), ("shard", &self.map.shards[i].ns)],
+                )
+                .inc();
+            }
+        }
+        hac_obs::histogram("hac_fed_scatter_micros", &[("ns", ns)])
+            .record(started.elapsed().as_micros() as u64);
+
+        if ok == 0 {
+            // Nothing answered: fail like a single dead server. `partial`
+            // is irrelevant (the caller gets an Err, not a result).
+            self.partial.store(false, Ordering::Relaxed);
+            return Err(match last_err {
+                Some(e) => e,
+                None => RemoteError::Timeout,
+            });
+        }
+        let partial = ok < total;
+        self.partial.store(partial, Ordering::Relaxed);
+        if partial {
+            hac_obs::counter("hac_fed_partial_total", &[("ns", ns)]).inc();
+        }
+        // Shards own disjoint placement slices, but a misconfigured
+        // backend could overlap; dedup by id keeps the union a set.
+        docs.sort_by(|a, b| a.id.cmp(&b.id));
+        docs.dedup_by(|a, b| a.id == b.id);
+        Ok(docs)
+    }
+
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+        // Point reads route by placement: exactly one shard owns `id`.
+        let owner = self.map.shard_of(id);
+        let shard = match self.shards.get(owner) {
+            Some(s) => s,
+            None => return Err(RemoteError::NotFound(id.to_string())),
+        };
+        match shard.primary.fetch(id) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if retriable(&e) => {
+                // Replicas may decline fetch (they replicate the index,
+                // not document bodies); try them anyway, then surface
+                // the primary's error as the authoritative one.
+                let replicas = shard.replicas.lock().unwrap().clone();
+                for r in replicas {
+                    if let Ok(bytes) = r.fetch(id) {
+                        shard.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        return Ok(bytes);
+                    }
+                }
+                shard.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn last_partial(&self) -> bool {
+        self.partial.load(Ordering::Relaxed)
+    }
+
+    fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        Ok(self.map.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ShardEntry;
+
+    /// A scripted shard backend: fixed docs, optional failure, optional
+    /// artificial latency.
+    struct Scripted {
+        ns: &'static str,
+        docs: Vec<RemoteDoc>,
+        fail: Option<RemoteError>,
+        delay: Duration,
+    }
+
+    impl Scripted {
+        fn ok(ns: &'static str, ids: &[&str]) -> Arc<dyn RemoteQuerySystem> {
+            Arc::new(Scripted {
+                ns,
+                docs: ids
+                    .iter()
+                    .map(|id| RemoteDoc {
+                        id: id.to_string(),
+                        title: id.to_string(),
+                    })
+                    .collect(),
+                fail: None,
+                delay: Duration::ZERO,
+            })
+        }
+
+        fn down(ns: &'static str) -> Arc<dyn RemoteQuerySystem> {
+            Arc::new(Scripted {
+                ns,
+                docs: Vec::new(),
+                fail: Some(RemoteError::Unavailable("down".into())),
+                delay: Duration::ZERO,
+            })
+        }
+
+        fn slow(ns: &'static str, ids: &[&str], delay: Duration) -> Arc<dyn RemoteQuerySystem> {
+            Arc::new(Scripted {
+                ns,
+                docs: ids
+                    .iter()
+                    .map(|id| RemoteDoc {
+                        id: id.to_string(),
+                        title: id.to_string(),
+                    })
+                    .collect(),
+                fail: None,
+                delay,
+            })
+        }
+    }
+
+    impl RemoteQuerySystem for Scripted {
+        fn namespace(&self) -> NamespaceId {
+            NamespaceId(self.ns.to_string())
+        }
+        fn search(&self, _q: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            match &self.fail {
+                Some(e) => Err(e.clone()),
+                None => Ok(self.docs.clone()),
+            }
+        }
+        fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+            match &self.fail {
+                Some(e) => Err(e.clone()),
+                None => Ok(id.as_bytes().to_vec()),
+            }
+        }
+    }
+
+    fn map2() -> ShardMap {
+        ShardMap {
+            generation: 1,
+            logical: "lib".into(),
+            shards: vec![
+                ShardEntry {
+                    ns: "lib.0".into(),
+                    addr: "none:0".into(),
+                },
+                ShardEntry {
+                    ns: "lib.1".into(),
+                    addr: "none:1".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn all_shards_up_is_a_complete_union() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![
+                Scripted::ok("lib.0", &["/a", "/c"]),
+                Scripted::ok("lib.1", &["/b"]),
+            ],
+            Duration::from_secs(5),
+        );
+        let docs = fed.search(&ContentExpr::All).unwrap();
+        let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, vec!["/a", "/b", "/c"]);
+        assert!(!fed.last_partial());
+        let st = fed.status();
+        assert_eq!(st.shards[0].ok, 1);
+        assert_eq!(st.shards[1].ok, 1);
+    }
+
+    #[test]
+    fn one_dead_shard_degrades_to_flagged_partial() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![Scripted::ok("lib.0", &["/a"]), Scripted::down("lib.1")],
+            Duration::from_secs(5),
+        );
+        let docs = fed.search(&ContentExpr::All).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert!(fed.last_partial(), "lost shard must flag the result");
+        assert_eq!(fed.status().shards[1].errors, 1);
+
+        // A later fully successful fan-out clears the flag.
+        let fed_ok = FedRemote::with_backends(
+            map2(),
+            vec![
+                Scripted::ok("lib.0", &["/a"]),
+                Scripted::ok("lib.1", &["/b"]),
+            ],
+            Duration::from_secs(5),
+        );
+        fed_ok.search(&ContentExpr::All).unwrap();
+        assert!(!fed_ok.last_partial());
+    }
+
+    #[test]
+    fn slow_shard_is_deadline_bounded() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![
+                Scripted::ok("lib.0", &["/a"]),
+                Scripted::slow("lib.1", &["/b"], Duration::from_secs(10)),
+            ],
+            Duration::from_millis(150),
+        );
+        let t0 = Instant::now();
+        let docs = fed.search(&ContentExpr::All).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "gather must not wait out a slow shard"
+        );
+        assert_eq!(docs.len(), 1);
+        assert!(fed.last_partial());
+        assert_eq!(fed.status().shards[1].timeouts, 1);
+    }
+
+    #[test]
+    fn all_shards_down_is_an_error_not_an_empty_result() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![Scripted::down("lib.0"), Scripted::down("lib.1")],
+            Duration::from_secs(5),
+        );
+        assert!(matches!(
+            fed.search(&ContentExpr::All),
+            Err(RemoteError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn replica_failover_restores_a_dead_shards_slice() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![Scripted::ok("lib.0", &["/a"]), Scripted::down("lib.1")],
+            Duration::from_secs(5),
+        );
+        fed.add_replica(1, Scripted::ok("lib.1", &["/b"]));
+        let docs = fed.search(&ContentExpr::All).unwrap();
+        let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, vec!["/a", "/b"]);
+        assert!(!fed.last_partial(), "replica answer makes the union whole");
+        let st = fed.status();
+        assert_eq!(st.shards[1].failovers, 1);
+        assert_eq!(st.shards[1].ok, 1);
+    }
+
+    #[test]
+    fn fetch_routes_by_placement() {
+        let map = map2();
+        let doc = "/corpus/some-doc.txt";
+        let owner = map.shard_of(doc);
+        let backends: Vec<Arc<dyn RemoteQuerySystem>> = (0..2)
+            .map(|i| {
+                if i == owner {
+                    Scripted::ok("owner", &[])
+                } else {
+                    Scripted::down("other")
+                }
+            })
+            .collect();
+        let fed = FedRemote::with_backends(map, backends, Duration::from_secs(5));
+        // Routed to the healthy owner even though the other shard is down.
+        assert_eq!(fed.fetch(doc).unwrap(), doc.as_bytes());
+    }
+
+    #[test]
+    fn status_snapshot_reflects_map() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![Scripted::ok("lib.0", &[]), Scripted::ok("lib.1", &[])],
+            Duration::from_secs(1),
+        );
+        let st = fed.status();
+        assert_eq!(st.logical, "lib");
+        assert_eq!(st.generation, 1);
+        assert_eq!(st.shards.len(), 2);
+        assert_eq!(st.shards[0].ns, "lib.0");
+    }
+}

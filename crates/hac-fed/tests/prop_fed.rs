@@ -1,0 +1,227 @@
+//! Property: federating a corpus over N shards is invisible to queries.
+//! For random corpus splits and random boolean queries, the coordinator's
+//! scatter-gather answer is bit-identical to one server indexing the
+//! whole corpus — same documents, same order — and the bitmap-level
+//! merge ([`union_translated`]) reproduces the single index's result set
+//! exactly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hac_core::remote::{NamespaceId, RemoteDoc, RemoteError, RemoteQuerySystem};
+use hac_fed::{union_translated, FedRemote, ShardMap};
+use hac_index::{
+    tokenize_text, Bitmap, ContentExpr, DocId, Granularity, Index, Segment, SegmentDoc, Token,
+};
+
+const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "omega", "zeta"];
+
+/// One shard (or the whole corpus): an index over `(path, tokens)` docs
+/// with ids `0..n`, answering searches the way a shard server would.
+struct IndexShard {
+    ns: String,
+    index: Index,
+    paths: Vec<String>,
+    tokens: HashMap<DocId, Vec<Token>>,
+}
+
+impl IndexShard {
+    fn build(ns: &str, docs: &[(String, String)]) -> IndexShard {
+        let mut index = Index::new(Granularity::Exact);
+        let mut tokens = HashMap::new();
+        let mut paths = Vec::new();
+        let adds: Vec<SegmentDoc> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, (path, body))| {
+                let toks = tokenize_text(body.as_bytes());
+                tokens.insert(DocId(i as u64), toks.clone());
+                paths.push(path.clone());
+                SegmentDoc {
+                    doc: i as u64,
+                    version: 1,
+                    path: path.clone(),
+                    tokens: toks,
+                }
+            })
+            .collect();
+        index.replay_segment(&Segment {
+            seq: 1,
+            generation: 1,
+            adds,
+            removes: Vec::new(),
+        });
+        IndexShard {
+            ns: ns.to_string(),
+            index,
+            paths,
+            tokens,
+        }
+    }
+
+    fn eval(&self, query: &ContentExpr) -> Bitmap {
+        let universe = self.index.all_docs();
+        self.index.eval(query, &universe, &self.tokens)
+    }
+}
+
+impl RemoteQuerySystem for IndexShard {
+    fn namespace(&self) -> NamespaceId {
+        NamespaceId(self.ns.clone())
+    }
+    fn search(&self, query: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+        Ok(self
+            .eval(query)
+            .ids()
+            .into_iter()
+            .map(|d| {
+                let path = &self.paths[d.0 as usize];
+                RemoteDoc {
+                    id: path.clone(),
+                    title: path.clone(),
+                }
+            })
+            .collect())
+    }
+    fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::NotFound(id.to_string()))
+    }
+}
+
+fn body_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..6).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = ContentExpr> {
+    let term = (0usize..VOCAB.len()).prop_map(|i| VOCAB[i].to_string());
+    let leaf = prop_oneof![
+        term.clone().prop_map(ContentExpr::Term),
+        term.clone()
+            .prop_map(|t| ContentExpr::Prefix(t[..2].to_string())),
+        proptest::collection::vec(term.clone(), 1..3).prop_map(ContentExpr::Phrase),
+        (term, 0u8..2).prop_map(|(w, d)| ContentExpr::Approx(w, d)),
+        Just(ContentExpr::All),
+        Just(ContentExpr::Nothing),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ContentExpr::and_not(a, b)),
+            inner.prop_map(ContentExpr::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coordinator-level equivalence: `FedRemote` over N shard backends
+    /// answers exactly like one backend holding the whole corpus.
+    #[test]
+    fn federated_search_matches_single_server(
+        bodies in proptest::collection::vec(body_strategy(), 1..24),
+        shards in 2usize..5,
+        query in query_strategy(),
+    ) {
+        let docs: Vec<(String, String)> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| (format!("/corpus/doc-{i}.txt"), body))
+            .collect();
+
+        let single = IndexShard::build("whole", &docs);
+        let expected: Vec<String> = {
+            let mut hits: Vec<String> = single
+                .search(&query)
+                .unwrap()
+                .into_iter()
+                .map(|d| d.id)
+                .collect();
+            hits.sort();
+            hits
+        };
+
+        // Split the corpus by placement and build one index per shard.
+        let map = ShardMap::new("whole", &vec![String::new(); shards]);
+        let backends: Vec<Arc<dyn RemoteQuerySystem>> = (0..shards)
+            .map(|s| {
+                let slice: Vec<(String, String)> = docs
+                    .iter()
+                    .filter(|(path, _)| map.shard_of(path) == s)
+                    .cloned()
+                    .collect();
+                Arc::new(IndexShard::build(&format!("whole.{s}"), &slice))
+                    as Arc<dyn RemoteQuerySystem>
+            })
+            .collect();
+
+        let fed = FedRemote::with_backends(map, backends, Duration::from_secs(10));
+        let got: Vec<String> = fed
+            .search(&query)
+            .unwrap()
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        prop_assert!(!fed.last_partial());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Bitmap-level equivalence: per-shard result bitmaps, translated by
+    /// disjoint base offsets and unioned, select exactly the documents
+    /// the single index selects.
+    #[test]
+    fn union_translated_matches_single_index_bitmap(
+        bodies in proptest::collection::vec(body_strategy(), 1..24),
+        shards in 2usize..5,
+        query in query_strategy(),
+    ) {
+        let docs: Vec<(String, String)> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| (format!("/corpus/doc-{i}.txt"), body))
+            .collect();
+
+        let single = IndexShard::build("whole", &docs);
+        let mut expected: Vec<String> = single
+            .eval(&query)
+            .ids()
+            .into_iter()
+            .map(|d| single.paths[d.0 as usize].clone())
+            .collect();
+        expected.sort();
+
+        let map = ShardMap::new("whole", &vec![String::new(); shards]);
+        let mut parts = Vec::new();
+        let mut fed_paths: Vec<String> = Vec::new(); // federated id → path
+        for s in 0..shards {
+            let slice: Vec<(String, String)> = docs
+                .iter()
+                .filter(|(path, _)| map.shard_of(path) == s)
+                .cloned()
+                .collect();
+            let shard = IndexShard::build(&format!("whole.{s}"), &slice);
+            let base = fed_paths.len() as u64;
+            fed_paths.extend(shard.paths.iter().cloned());
+            parts.push((shard.eval(&query), base));
+        }
+
+        let merged = union_translated(&parts);
+        let mut got: Vec<String> = merged
+            .ids()
+            .into_iter()
+            .map(|d| fed_paths[d.0 as usize].clone())
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -142,6 +142,8 @@ impl ClientMetrics {
 /// A pooled socket plus what the version handshake negotiated for it.
 struct PooledConn {
     stream: TcpStream,
+    /// The protocol version the handshake negotiated for this connection.
+    version: u16,
     /// Whether the server speaks v2+ on this connection, i.e. whether
     /// requests may carry trace context.
     traced: bool,
@@ -249,6 +251,7 @@ impl Pool {
 /// slots, matched by request id.
 struct MuxConn {
     stream: TcpStream,
+    version: u16,
     traced: bool,
     compact: bool,
     write_lock: Mutex<()>,
@@ -275,6 +278,7 @@ impl MuxConn {
     fn from_dialed(conn: PooledConn) -> Self {
         MuxConn {
             stream: conn.stream,
+            version: conn.version,
             traced: conn.traced,
             compact: conn.compact,
             write_lock: Mutex::new(()),
@@ -488,6 +492,7 @@ impl NetRemote {
                         }
                         return Ok(PooledConn {
                             stream: conn,
+                            version: v,
                             traced: v >= 2,
                             compact: v >= 3,
                             rx,
@@ -536,6 +541,18 @@ impl NetRemote {
                 }
             },
         };
+        if let Some(min) = min_version(body).filter(|&min| conn.version < min) {
+            // A pre-v4 server cannot even *decode* the new federation
+            // ops, so refusing here keeps the socket healthy instead of
+            // letting the peer drop it on a garbled request.
+            let server = conn.version;
+            self.pool.put_back(conn);
+            return Err(AttemptError::Wire(WireError::Remote(
+                RemoteError::UnsupportedQuery(format!(
+                    "op {op} needs protocol v{min}, server speaks v{server}"
+                )),
+            )));
+        }
         let mut span = hac_obs::span!("net_client_request", ns = self.ns.0, op = op);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut req = Request::new(id, body.clone());
@@ -650,6 +667,14 @@ impl NetRemote {
         body: &RequestBody,
     ) -> Result<ResponseBody, AttemptError> {
         let conn = self.mux_checkout()?;
+        if let Some(min) = min_version(body).filter(|&min| conn.version < min) {
+            return Err(AttemptError::Wire(WireError::Remote(
+                RemoteError::UnsupportedQuery(format!(
+                    "op {op} needs protocol v{min}, server speaks v{}",
+                    conn.version
+                )),
+            )));
+        }
         let mut span = hac_obs::span!("net_client_request", ns = self.ns.0, op = op);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut req = Request::new(id, body.clone());
@@ -919,6 +944,55 @@ impl RemoteQuerySystem for NetRemote {
             ResponseBody::Blob(bytes) => Ok(bytes),
             other => Err(unexpected(other)),
         }
+    }
+
+    fn manifest_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "manifest",
+            RequestBody::Manifest {
+                ns: self.ns.0.clone(),
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn object_bytes(&self, hash: &str) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "object",
+            RequestBody::Object {
+                ns: self.ns.0.clone(),
+                hash: hash.to_string(),
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "shard_map",
+            RequestBody::ShardMap {
+                ns: self.ns.0.clone(),
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// The minimum negotiated protocol version `body` may be sent on, when
+/// above the baseline: the v4 federation ops are additive, so a pre-v4
+/// server would fail to decode them.
+fn min_version(body: &RequestBody) -> Option<u16> {
+    match body {
+        RequestBody::Manifest { .. }
+        | RequestBody::Object { .. }
+        | RequestBody::ShardMap { .. } => Some(4),
+        _ => None,
     }
 }
 

@@ -162,12 +162,20 @@ impl Shared {
 }
 
 /// The cost-model slot a request body bills to: `(namespace, 0)` for
-/// search, `(namespace, 1)` for fetch, `None` for protocol ops.
+/// search, `(namespace, 1)` for fetch-shaped ops, `None` for protocol
+/// ops. Replication object pulls share the fetch slot — both are "read
+/// one blob for this namespace" ops with the same backing-store cost
+/// profile — while `Manifest`/`ShardMap` are small in-memory encodes,
+/// cheap and bounded like `Capabilities`.
 fn cost_slot(body: &RequestBody) -> Option<(&str, usize)> {
     match body {
         RequestBody::Search { ns, .. } => Some((ns, 0)),
         RequestBody::Fetch { ns, .. } => Some((ns, 1)),
-        RequestBody::Ping { .. } | RequestBody::Capabilities => None,
+        RequestBody::Object { ns, .. } => Some((ns, 1)),
+        RequestBody::Ping { .. }
+        | RequestBody::Capabilities
+        | RequestBody::Manifest { .. }
+        | RequestBody::ShardMap { .. } => None,
     }
 }
 
@@ -216,9 +224,18 @@ struct OpStats {
 }
 
 fn op_stats(op: &str) -> &'static OpStats {
-    static STATS: OnceLock<[OpStats; 4]> = OnceLock::new();
+    static STATS: OnceLock<[OpStats; 7]> = OnceLock::new();
     let all = STATS.get_or_init(|| {
-        ["ping", "capabilities", "search", "fetch"].map(|op| OpStats {
+        [
+            "ping",
+            "capabilities",
+            "search",
+            "fetch",
+            "manifest",
+            "object",
+            "shard_map",
+        ]
+        .map(|op| OpStats {
             requests: hac_obs::counter("hac_net_server_requests_total", &[("op", op)]),
             duration: hac_obs::histogram("hac_net_server_request_duration_us", &[("op", op)]),
             errors: hac_obs::counter("hac_net_server_errors_total", &[("op", op)]),
@@ -228,6 +245,9 @@ fn op_stats(op: &str) -> &'static OpStats {
         "ping" => &all[0],
         "capabilities" => &all[1],
         "search" => &all[2],
+        "manifest" => &all[4],
+        "object" => &all[5],
+        "shard_map" => &all[6],
         _ => &all[3],
     }
 }
@@ -1037,6 +1057,30 @@ fn dispatch(request: Request, backends: &BTreeMap<String, Arc<dyn RemoteQuerySys
                 Err(e) => ResponseBody::Err(WireError::Remote(e)),
             },
         },
+        // The v4 federation ops all answer with pre-v4 response bodies
+        // (`Blob`/`Err`), so the negotiated response codec needs no new
+        // shapes for them.
+        RequestBody::Manifest { ns } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.manifest_bytes() {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
+        RequestBody::Object { ns, hash } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.object_bytes(&hash) {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
+        RequestBody::ShardMap { ns } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.shard_map_bytes() {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
     };
     let elapsed = start.elapsed().as_micros() as u64;
     let stats = op_stats(op);
@@ -1427,5 +1471,241 @@ mod tests {
                 assert!(wire::read_frame(&mut conn, wire::DEFAULT_MAX_FRAME_LEN).is_err());
             }
         }
+    }
+
+    /// A backend with a durable-store surface: answers the v4 federation
+    /// ops from canned bytes.
+    struct FedSrc;
+
+    impl RemoteQuerySystem for FedSrc {
+        fn namespace(&self) -> NamespaceId {
+            NamespaceId("fed-src".to_string())
+        }
+        fn search(&self, _q: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+            Ok(Vec::new())
+        }
+        fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+            Err(RemoteError::NotFound(id.to_string()))
+        }
+        fn manifest_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+            Ok(b"HACM-manifest-bytes".to_vec())
+        }
+        fn object_bytes(&self, hash: &str) -> Result<Vec<u8>, RemoteError> {
+            if hash == "cafe" {
+                Ok(b"segment-bytes".to_vec())
+            } else {
+                Err(RemoteError::NotFound(hash.to_string()))
+            }
+        }
+        fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+            Ok(b"HACF-map-bytes".to_vec())
+        }
+    }
+
+    #[test]
+    fn v4_federation_ops_dispatch_to_backend_hooks() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(FedSrc), Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        let manifest = ask(
+            &mut conn,
+            &Request::new(
+                1,
+                RequestBody::Manifest {
+                    ns: "fed-src".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            manifest.body,
+            ResponseBody::Blob(b"HACM-manifest-bytes".to_vec())
+        );
+
+        let object = ask(
+            &mut conn,
+            &Request::new(
+                2,
+                RequestBody::Object {
+                    ns: "fed-src".into(),
+                    hash: "cafe".into(),
+                },
+            ),
+        );
+        assert_eq!(object.body, ResponseBody::Blob(b"segment-bytes".to_vec()));
+
+        let missing = ask(
+            &mut conn,
+            &Request::new(
+                3,
+                RequestBody::Object {
+                    ns: "fed-src".into(),
+                    hash: "dead".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            missing.body,
+            ResponseBody::Err(WireError::Remote(RemoteError::NotFound("dead".into())))
+        );
+
+        let map = ask(
+            &mut conn,
+            &Request::new(
+                4,
+                RequestBody::ShardMap {
+                    ns: "fed-src".into(),
+                },
+            ),
+        );
+        assert_eq!(map.body, ResponseBody::Blob(b"HACF-map-bytes".to_vec()));
+
+        // A backend without a store surface answers with the default
+        // refusals, not a hang or a closed socket.
+        let plain = ask(
+            &mut conn,
+            &Request::new(5, RequestBody::Manifest { ns: "fixed".into() }),
+        );
+        assert!(matches!(
+            plain.body,
+            ResponseBody::Err(WireError::Remote(RemoteError::UnsupportedQuery(_)))
+        ));
+        let no_map = ask(
+            &mut conn,
+            &Request::new(6, RequestBody::ShardMap { ns: "fixed".into() }),
+        );
+        assert!(matches!(
+            no_map.body,
+            ResponseBody::Err(WireError::Remote(RemoteError::NotFound(_)))
+        ));
+        server.shutdown();
+    }
+
+    /// The inline cost model's revocation path, exercised directly: cheap
+    /// samples earn a namespace loop-thread eligibility, and a *single*
+    /// over-budget sample revokes it immediately (no EWMA decay window a
+    /// slow backend could hide inside).
+    #[test]
+    fn one_overbudget_sample_revokes_inline_eligibility() {
+        let shared = Shared {
+            poller: Poller::new().unwrap(),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            costs: Mutex::new(HashMap::new()),
+        };
+        let search = RequestBody::Search {
+            ns: "ns".into(),
+            query: ContentExpr::All,
+        };
+
+        // Unknown namespaces start on the worker pool.
+        assert!(!shared.inline_eligible(&search));
+
+        // A run of cheap samples converges the EWMA below budget.
+        for _ in 0..4 {
+            shared.record_cost(cost_slot(&search), 40);
+        }
+        assert!(shared.inline_eligible(&search));
+
+        // One sample at the budget replaces the average outright…
+        shared.record_cost(cost_slot(&search), INLINE_BUDGET_US);
+        assert!(
+            !shared.inline_eligible(&search),
+            "a single over-budget sample must revoke inline eligibility"
+        );
+
+        // …and the EWMA is the slow sample itself, not a blend: the next
+        // cheap sample alone cannot win eligibility back ((3·250+40)/4 =
+        // 197 < 250 would — so verify the actual blend math from the
+        // recorded value, not a guess.
+        let after = shared.costs.lock().unwrap()["ns"][0];
+        assert_eq!(after, INLINE_BUDGET_US);
+
+        // Fetch and search slots are independent: the search revocation
+        // leaves fetch unknown (worker pool by default).
+        let fetch = RequestBody::Fetch {
+            ns: "ns".into(),
+            doc: "d".into(),
+        };
+        assert!(!shared.inline_eligible(&fetch));
+        shared.record_cost(cost_slot(&fetch), 10);
+        assert!(shared.inline_eligible(&fetch));
+        assert!(!shared.inline_eligible(&search));
+    }
+
+    /// The same revocation observed through a live server: a namespace
+    /// that turned slow stops being served on the loop thread from the
+    /// very next request.
+    #[test]
+    fn live_server_revokes_inline_after_slow_search() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Adjustable {
+            delay_us: AtomicU64,
+        }
+
+        impl RemoteQuerySystem for Adjustable {
+            fn namespace(&self) -> NamespaceId {
+                NamespaceId("adj".to_string())
+            }
+            fn search(&self, _q: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+                let us = self.delay_us.load(Ordering::Relaxed);
+                if us > 0 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+                Ok(Vec::new())
+            }
+            fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+                Err(RemoteError::NotFound(id.to_string()))
+            }
+        }
+
+        let backend = Arc::new(Adjustable {
+            delay_us: AtomicU64::new(0),
+        });
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::clone(&backend) as Arc<dyn RemoteQuerySystem>],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let search = RequestBody::Search {
+            ns: "adj".into(),
+            query: ContentExpr::All,
+        };
+
+        // Fast searches: the first lands on the worker pool (no sample
+        // yet) and seeds the model; once the EWMA settles under budget the
+        // namespace is inline-eligible.
+        let mut id = 1;
+        for _ in 0..4 {
+            let resp = ask(&mut conn, &Request::new(id, search.clone()));
+            assert!(matches!(resp.body, ResponseBody::Docs(_)));
+            id += 1;
+        }
+        assert!(
+            server.shared.inline_eligible(&search),
+            "cheap namespace should have earned inline eligibility"
+        );
+
+        // Turn the backend slow. The next search still runs inline (the
+        // model only learns from the sample) — and that one sample must
+        // push the namespace back to the worker pool.
+        backend.delay_us.store(2 * 1000, Ordering::Relaxed);
+        let resp = ask(&mut conn, &Request::new(id, search.clone()));
+        assert!(matches!(resp.body, ResponseBody::Docs(_)));
+        assert!(
+            !server.shared.inline_eligible(&search),
+            "one over-budget sample must move the namespace off the loop thread"
+        );
+        server.shutdown();
     }
 }

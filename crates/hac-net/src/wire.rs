@@ -47,6 +47,22 @@
 //! keep the persist codec in every version — they are small, and keeping
 //! them self-describing preserves the one-decoder server loop. v1/v2
 //! peers never negotiate v3, so their frame shapes are untouched.
+//!
+//! ## Protocol evolution (v3 → v4)
+//!
+//! v4 adds three request operations for federation — `Manifest` and
+//! `Object` (segment-shipped replication: a replica pulls the primary's
+//! durable-index manifest, diffs it against what it has applied, and
+//! fetches exactly the missing content-addressed objects) and `ShardMap`
+//! (a `fed://` client asks any shard for the federation's placement map).
+//! The change is purely *additive*: no existing message shape moves, and
+//! every new operation answers with already-existing response bodies
+//! (`Blob` for the payload bytes, `Err` otherwise), so the v3 compact
+//! response codec covers them with no new tags. The new variants sit at
+//! the end of [`RequestBody`], so v1–v3 frames decode exactly as before;
+//! a pre-v4 server that receives one fails to decode the request and
+//! drops the connection, which is why clients only issue these ops on
+//! connections whose handshake negotiated v4.
 
 use std::io::{self, Read, Write};
 
@@ -57,7 +73,7 @@ use hac_index::ContentExpr;
 
 /// Version of the frame payload encoding. Bump on any incompatible change
 /// to [`Request`]/[`Response`].
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest protocol version this build still speaks (v1 peers interoperate
 /// with tracing disabled).
@@ -147,6 +163,31 @@ pub enum RequestBody {
         /// Remote document id (opaque to HAC).
         doc: String,
     },
+    /// (v4) The namespace's durable-index manifest (HACM bytes), the root
+    /// of segment-shipped replication. Answered with
+    /// [`ResponseBody::Blob`].
+    Manifest {
+        /// Target namespace.
+        ns: String,
+    },
+    /// (v4) One content-addressed store object by hex hash — a segment,
+    /// base snapshot, or path sidecar named by a previously fetched
+    /// manifest. Answered with [`ResponseBody::Blob`]; the client verifies
+    /// the bytes hash to `hash` before applying them.
+    Object {
+        /// Target namespace.
+        ns: String,
+        /// Hex content hash of the object.
+        hash: String,
+    },
+    /// (v4) The shard map (HACF bytes) of the federation this namespace
+    /// belongs to, so clients and coordinator agree on placement.
+    /// Answered with [`ResponseBody::Blob`], or `Err(NotFound)` when the
+    /// namespace is not federated.
+    ShardMap {
+        /// Target namespace (any shard of the federation).
+        ns: String,
+    },
 }
 
 impl RequestBody {
@@ -157,6 +198,9 @@ impl RequestBody {
             RequestBody::Capabilities => "capabilities",
             RequestBody::Search { .. } => "search",
             RequestBody::Fetch { .. } => "fetch",
+            RequestBody::Manifest { .. } => "manifest",
+            RequestBody::Object { .. } => "object",
+            RequestBody::ShardMap { .. } => "shard_map",
         }
     }
 }

@@ -44,6 +44,10 @@ fn request_strategy() -> impl Strategy<Value = RequestBody> {
             .prop_map(|(ns, query)| RequestBody::Search { ns, query }),
         ("[a-z0-9/_.-]{0,12}", "[a-z0-9/_. -]{0,24}")
             .prop_map(|(ns, doc)| RequestBody::Fetch { ns, doc }),
+        "[a-z0-9/_.-]{0,12}".prop_map(|ns| RequestBody::Manifest { ns }),
+        ("[a-z0-9/_.-]{0,12}", "[a-f0-9]{0,64}")
+            .prop_map(|(ns, hash)| RequestBody::Object { ns, hash }),
+        "[a-z0-9/_.-]{0,12}".prop_map(|ns| RequestBody::ShardMap { ns }),
     ]
 }
 
@@ -239,7 +243,9 @@ proptest! {
 fn version_constant_is_stable() {
     // Bumping the protocol version is a compatibility event; this test
     // makes it a conscious one. v3 introduced the compact response codec
-    // (negotiated per connection; v1/v2 peers never see it).
-    assert_eq!(PROTOCOL_VERSION, 3);
+    // (negotiated per connection; v1/v2 peers never see it); v4 added the
+    // federation ops (`Manifest`/`Object`/`ShardMap`), additive request
+    // variants answered with pre-existing response bodies.
+    assert_eq!(PROTOCOL_VERSION, 4);
     assert_eq!(MIN_PROTOCOL_VERSION, 1);
 }

@@ -107,6 +107,33 @@ impl RemoteQuerySystem for RemoteHac {
                 .map_err(|_| RemoteError::NotFound(id.to_string()))
         })
     }
+
+    /// Serves the exported file system's durable index manifest, making a
+    /// store-attached export a shard primary that read replicas can
+    /// follow by segment shipping (wire-v4 `Manifest` op).
+    fn manifest_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        crate::observed(&self.ns, "manifest", || {
+            let store = self.fs.store().ok_or_else(|| {
+                RemoteError::UnsupportedQuery("export has no attached index store".into())
+            })?;
+            Ok(store.export_manifest())
+        })
+    }
+
+    /// Serves one content-addressed store object (base snapshot, segment,
+    /// or paths sidecar) by hex hash (wire-v4 `Object` op).
+    fn object_bytes(&self, hash: &str) -> Result<Vec<u8>, RemoteError> {
+        crate::observed(&self.ns, "object", || {
+            let store = self.fs.store().ok_or_else(|| {
+                RemoteError::UnsupportedQuery("export has no attached index store".into())
+            })?;
+            let parsed = hac_store::ContentHash::parse(hash)
+                .ok_or_else(|| RemoteError::UnsupportedQuery(format!("bad object hash {hash}")))?;
+            store
+                .export_object(parsed)
+                .map_err(|e| RemoteError::NotFound(format!("object {hash}: {e}")))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +198,47 @@ mod tests {
         let hits = remote.search(&ContentExpr::All).unwrap();
         assert_eq!(hits.len(), 1);
         assert!(hits[0].id.ends_with("fp.txt"));
+    }
+
+    #[test]
+    fn manifest_and_objects_export_the_attached_store() {
+        let fs = Arc::new(HacFs::new());
+        fs.attach_store(Arc::new(hac_store::MemStore::new()))
+            .unwrap();
+        fs.mkdir_p(&p("/pub")).unwrap();
+        fs.save(&p("/pub/a.txt"), b"segment shipping source")
+            .unwrap();
+        fs.ssync(&p("/")).unwrap();
+
+        let remote = RemoteHac::new("primary", fs, p("/pub"));
+        let manifest = hac_store::Manifest::decode(&remote.manifest_bytes().unwrap()).unwrap();
+        assert!(
+            !manifest.segments.is_empty(),
+            "ssync against a store must commit segments"
+        );
+        // Every listed object is fetchable and verifies against its
+        // advertised content address — the replica's safety check.
+        for entry in &manifest.segments {
+            let bytes = remote.object_bytes(&entry.hash.to_hex()).unwrap();
+            assert_eq!(hac_store::ContentHash::of(&bytes), entry.hash);
+        }
+        assert!(matches!(
+            remote.object_bytes("zz-not-a-hash"),
+            Err(RemoteError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn storeless_exports_decline_replication_ops() {
+        let remote = RemoteHac::new("colleague", colleague(), p("/pub"));
+        assert!(matches!(
+            remote.manifest_bytes(),
+            Err(RemoteError::UnsupportedQuery(_))
+        ));
+        assert!(matches!(
+            remote.object_bytes("00"),
+            Err(RemoteError::UnsupportedQuery(_))
+        ));
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl From<hac_vfs::VfsError> for ShellError {
     }
 }
 
+/// Flattens a federation error into the remote-error taxonomy the shell's
+/// error type already carries.
+fn fed_to_remote(e: hac_fed::FedError) -> hac_core::RemoteError {
+    match e {
+        hac_fed::FedError::Remote(r) => r,
+        hac_fed::FedError::Store(s) => hac_core::RemoteError::Unavailable(s.to_string()),
+    }
+}
+
 /// A shell session: a file system plus a working directory, and (after
 /// `serve` / `obs-serve`) the network and observability servers exporting
 /// it.
@@ -69,6 +78,11 @@ pub struct Shell {
     obs_server: Option<hac_obs::ObsServer>,
     /// Shared with the `/statusz` closure so it sees serve/stop live.
     net_addr: Arc<std::sync::Mutex<Option<std::net::SocketAddr>>>,
+    /// Shard servers started by `fed serve` (one per shard).
+    fed_servers: Vec<hac_net::HacServer>,
+    /// Coordinator behind the most recent `mount … fed://` (for
+    /// `fed status`).
+    fed_remote: Option<Arc<hac_fed::FedRemote>>,
 }
 
 impl Default for Shell {
@@ -99,6 +113,8 @@ impl Shell {
             server: None,
             obs_server: None,
             net_addr: Arc::new(std::sync::Mutex::new(None)),
+            fed_servers: Vec::new(),
+            fed_remote: None,
         }
     }
 
@@ -478,8 +494,34 @@ impl Shell {
                     self.fs.smount(&dir, Arc::new(remote))?;
                     Ok(format!("mounted {ns} at {dir}\n"))
                 }
-                _ => Err(ShellError::Usage("mount <dir> tcp://host:port/namespace")),
+                [p, url] if url.starts_with("fed://") => {
+                    // fed://host:port/logical — bootstrap the whole
+                    // federation from any one shard's address: fetch the
+                    // shard map, connect to every shard it names.
+                    let dir = self.resolve_arg(p)?;
+                    let rest = url.strip_prefix("fed://").unwrap_or_default();
+                    let (addr, logical) = rest.split_once('/').ok_or(ShellError::Usage(
+                        "mount <dir> fed://host:port/logical-namespace",
+                    ))?;
+                    let fed =
+                        hac_fed::FedRemote::discover(logical, addr, hac_fed::FedConfig::default())
+                            .map_err(|e| HacError::Remote(fed_to_remote(e)))?;
+                    let shards = fed.map().shard_count();
+                    let generation = fed.map().generation;
+                    let fed = Arc::new(fed);
+                    self.fs
+                        .smount(&dir, Arc::clone(&fed) as Arc<dyn RemoteQuerySystem>)?;
+                    self.fed_remote = Some(fed);
+                    Ok(format!(
+                        "mounted federated {logical} at {dir} \
+                         ({shards} shards, placement generation {generation})\n"
+                    ))
+                }
+                _ => Err(ShellError::Usage(
+                    "mount <dir> tcp://host:port/ns | mount <dir> fed://host:port/logical",
+                )),
             },
+            "fed" => self.cmd_fed(args),
             "mounts" => match args {
                 [p] => {
                     let namespaces = self.fs.mounts_at(&self.resolve_arg(p)?)?;
@@ -659,6 +701,149 @@ impl Shell {
     /// The plain `stats` snapshot (index shape plus every raw metric).
     fn render_stats(&self) -> String {
         render_stats_for(&self.fs)
+    }
+
+    /// The `fed` command family: shard the shell's export across N
+    /// servers (`fed serve`), tear them down (`fed stop`), and inspect
+    /// both sides of a federation (`fed status`).
+    fn cmd_fed(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "fed serve <addr> <ns> <shards> [dir] | fed stop | fed status";
+        match args {
+            [word] if word == "stop" => {
+                if self.fed_servers.is_empty() {
+                    return Ok("no federation serving\n".to_string());
+                }
+                let n = self.fed_servers.len();
+                for server in self.fed_servers.drain(..) {
+                    server.shutdown();
+                }
+                Ok(format!("stopped {n} shard servers\n"))
+            }
+            [word] if word == "status" => {
+                let mut out = String::new();
+                if !self.fed_servers.is_empty() {
+                    out.push_str(&format!("serving {} shards:\n", self.fed_servers.len()));
+                    for server in &self.fed_servers {
+                        out.push_str(&format!("  tcp://{}/\n", server.local_addr()));
+                    }
+                }
+                if let Some(fed) = &self.fed_remote {
+                    let st = fed.status();
+                    out.push_str(&format!(
+                        "federation {} (generation {}, last result {}):\n",
+                        st.logical,
+                        st.generation,
+                        if st.last_partial {
+                            "PARTIAL"
+                        } else {
+                            "complete"
+                        },
+                    ));
+                    for shard in &st.shards {
+                        out.push_str(&format!(
+                            "  {} @ {}: ok {}, errors {}, failovers {}, \
+                             timeouts {}, replicas {}\n",
+                            shard.ns,
+                            shard.addr,
+                            shard.ok,
+                            shard.errors,
+                            shard.failovers,
+                            shard.timeouts,
+                            shard.replicas,
+                        ));
+                    }
+                }
+                if out.is_empty() {
+                    out.push_str("no federation running\n");
+                }
+                Ok(out)
+            }
+            [word, addr, ns, shards, rest @ ..] if word == "serve" && rest.len() <= 1 => {
+                if !self.fed_servers.is_empty() {
+                    return Err(ShellError::Usage(
+                        "fed serve: already running (use `fed stop` first)",
+                    ));
+                }
+                let count: usize = shards
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or(ShellError::Usage("fed serve: <shards> must be 1..=64"))?;
+                let export = match rest {
+                    [dir] => self.resolve_arg(dir)?,
+                    _ => VPath::root(),
+                };
+                let (host, port) = addr
+                    .rsplit_once(':')
+                    .ok_or(ShellError::Usage("fed serve: <addr> must be host:port"))?;
+                let base_port: u16 = port
+                    .parse()
+                    .map_err(|_| ShellError::Usage("fed serve: bad port"))?;
+
+                // Bootstrap in two generations: serve behind a map with
+                // unknown addresses, then publish the real ones (placement
+                // hashes paths, so the upgrade is placement-neutral).
+                let provisional = Arc::new(hac_fed::ShardMap::new(ns, &vec![String::new(); count]));
+                let mut servers: Vec<hac_net::HacServer> = Vec::new();
+                let mut backends = Vec::new();
+                let mut addrs = Vec::new();
+                for shard in 0..count {
+                    let inner = Arc::new(hac_remote::RemoteHac::new(
+                        &provisional.shards[shard].ns,
+                        Arc::clone(&self.fs),
+                        export.clone(),
+                    ));
+                    let backend = Arc::new(hac_fed::ShardBackend::new(
+                        inner,
+                        Arc::clone(&provisional),
+                        shard,
+                    ));
+                    let bind = if base_port == 0 {
+                        format!("{host}:0")
+                    } else {
+                        format!("{host}:{}", base_port + shard as u16)
+                    };
+                    let server = hac_net::HacServer::serve(
+                        &bind,
+                        vec![backend.clone() as Arc<dyn RemoteQuerySystem>],
+                        hac_net::ServerConfig::default(),
+                    )
+                    .map_err(|e| {
+                        // Don't leave a half-started federation behind.
+                        for started in servers.drain(..) {
+                            started.shutdown();
+                        }
+                        ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                            e.to_string(),
+                        )))
+                    })?;
+                    addrs.push(server.local_addr().to_string());
+                    servers.push(server);
+                    backends.push(backend);
+                }
+                let mut map = hac_fed::ShardMap::new(ns, &addrs);
+                map.generation = 2;
+                let map = Arc::new(map);
+                for backend in &backends {
+                    backend.set_map(Arc::clone(&map));
+                }
+
+                let mut out = format!("serving {ns} across {count} shards:\n");
+                for entry in &map.shards {
+                    out.push_str(&format!(
+                        "  {} on tcp://{}/{}\n",
+                        entry.ns, entry.addr, entry.ns
+                    ));
+                }
+                out.push_str(&format!(
+                    "mount with: mount <dir> fed://{}/{ns}\n",
+                    map.shards[0].addr
+                ));
+                self.fed_servers = servers;
+                Ok(out)
+            }
+            _ => Err(ShellError::Usage(USAGE)),
+        }
     }
 
     /// Builds the `/statusz` closure for the observability server: a JSON
@@ -944,6 +1129,8 @@ sact <link> | ssync [path] | find <query> | explain <query>
 curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
 network     : serve <addr> <ns> [dir] | serve stop | serve status | \
 mount <dir> tcp://host:port/ns
+federation  : fed serve <addr> <ns> <shards> [dir] | fed stop | fed status | \
+mount <dir> fed://host:port/ns
 observe     : obs-serve <addr>|stop|status | trace <id> | \
 stats [--prom|--events|--watch[=secs]] | top [--watch[=secs]] | slo status
 durability  : store status | store gc [grace] | store checkpoint

@@ -62,6 +62,19 @@ impl Manifest {
         self.segments.last().map(|s| s.seq).unwrap_or(0)
     }
 
+    /// The segments a replica that has already applied `applied` (by
+    /// content hash) still needs, in replay order. The export half of
+    /// segment shipping: a replica fetches the primary's manifest, diffs
+    /// by hash — hashes survive merges and checkpoints changing *around*
+    /// a segment, because the segment object itself is immutable — and
+    /// pulls exactly the missing objects.
+    pub fn missing_segments<F>(&self, applied: F) -> Vec<&SegmentEntry>
+    where
+        F: Fn(&ContentHash) -> bool,
+    {
+        self.segments.iter().filter(|s| !applied(&s.hash)).collect()
+    }
+
     /// Serialize to the versioned binary layout.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.segments.len() * 64);
@@ -216,6 +229,18 @@ mod tests {
         let mut b = sample().encode();
         b.push(0);
         assert!(Manifest::decode(&b).is_err());
+    }
+
+    #[test]
+    fn missing_segments_diffs_by_hash() {
+        let m = sample();
+        let all: Vec<_> = m.missing_segments(|_| false);
+        assert_eq!(all.len(), 2);
+        let have = ContentHash::of(b"seg 1");
+        let missing = m.missing_segments(|h| *h == have);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].seq, 5);
+        assert!(m.missing_segments(|_| true).is_empty());
     }
 
     #[test]

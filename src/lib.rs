@@ -33,6 +33,7 @@
 
 pub use hac_core as core;
 pub use hac_corpus as corpus;
+pub use hac_fed as fed;
 pub use hac_index as index;
 pub use hac_net as net;
 pub use hac_query as query;
@@ -45,6 +46,7 @@ pub mod prelude {
         HacConfig, HacError, HacFs, HacResult, LinkKind, LinkTarget, NamespaceId, ReindexDaemon,
         RemoteQuerySystem, SyncReport,
     };
+    pub use hac_fed::{FedRemote, Replica, ShardMap};
     pub use hac_index::{Bitmap, ContentExpr, DocId, Granularity};
     pub use hac_net::{HacServer, NetRemote};
     pub use hac_query::{parse, Query};
