@@ -271,6 +271,40 @@ pub trait RemoteQuerySystem: Send + Sync {
     fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
         Err(RemoteError::NotFound("no shard map".to_string()))
     }
+
+    /// The remote's recorded spans for one trace id (HACT bytes) — the
+    /// pull half of cross-node trace stitching. A coordinator assembling
+    /// `/trace/<id>` asks every shard that served part of the request for
+    /// its span forest and stitches them under the client's root span.
+    /// Remotes without an observability plane report
+    /// [`RemoteError::UnsupportedQuery`].
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::UnsupportedQuery`] when the remote does not record
+    /// spans, plus connectivity errors. An id the remote never saw is
+    /// *not* an error: it returns an empty forest (span rings evict, and
+    /// absence of spans must not fail a stitch).
+    fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::UnsupportedQuery(format!(
+            "remote records no spans (trace {trace_id:016x})"
+        )))
+    }
+
+    /// The remote's current metric-registry snapshot (HACS bytes) — one
+    /// node's contribution to a federated `/fleet/metrics` scrape.
+    /// Remotes without an observability plane report
+    /// [`RemoteError::UnsupportedQuery`].
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::UnsupportedQuery`] when the remote exports no
+    /// metrics, plus connectivity errors.
+    fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        Err(RemoteError::UnsupportedQuery(
+            "remote exports no metrics".to_string(),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -502,7 +502,13 @@ impl IndexStore {
         self.backend.get(hash)
     }
 
-    fn swap_manifest(&self, inner: &mut StoreInner, manifest: Manifest) -> StoreResult<()> {
+    fn swap_manifest(&self, inner: &mut StoreInner, mut manifest: Manifest) -> StoreResult<()> {
+        // Stamp the revision with wall-clock commit time (µs since the
+        // Unix epoch): the advisory half of replica lag telemetry.
+        manifest.committed_at_micros = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         let hash = self.backend.put(&manifest.encode())?;
         self.backend.set_ref("current", hash)?;
         inner.manifest = manifest;
@@ -656,6 +662,7 @@ impl IndexStore {
         let path_sidecar = self.backend.put(&path_bytes)?;
         let manifest = Manifest {
             seq: inner.manifest.seq + 1,
+            committed_at_micros: 0, // stamped by swap_manifest
             base: Some(base),
             paths: Some(path_sidecar),
             segments: Vec::new(),

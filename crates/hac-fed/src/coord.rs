@@ -65,6 +65,71 @@ struct ShardStats {
     errors: AtomicU64,
     failovers: AtomicU64,
     timeouts: AtomicU64,
+    /// Scatter failures (error or timeout) since the last success —
+    /// the signal [`ShardHealth`] bands are derived from.
+    consecutive_failures: AtomicU64,
+}
+
+impl ShardStats {
+    /// Records one scatter outcome into the failure run and refreshes
+    /// the shard's health gauge (`hac_fed_shard_health`: 0 up,
+    /// 1 degraded, 2 down).
+    fn settle(&self, ns: &str, shard_ns: &str, succeeded: bool) {
+        let failures = if succeeded {
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+            0
+        } else {
+            self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        let band = match ShardHealth::from_consecutive_failures(failures) {
+            ShardHealth::Up => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Down => 2,
+        };
+        hac_obs::gauge("hac_fed_shard_health", &[("ns", ns), ("shard", shard_ns)]).set(band);
+    }
+}
+
+/// Consecutive scatter failures at which a shard is considered down.
+pub const DOWN_AFTER_FAILURES: u64 = 3;
+
+/// Health band of one shard, derived from its consecutive scatter
+/// failures: a single failure may be a blip (`Degraded`), a run of
+/// [`DOWN_AFTER_FAILURES`] is an outage (`Down`), and any success resets
+/// the run (`Up`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The most recent scatter this shard participated in succeeded.
+    Up,
+    /// Recent failures, below the down threshold.
+    Degraded,
+    /// [`DOWN_AFTER_FAILURES`] or more failures in a row.
+    Down,
+}
+
+impl ShardHealth {
+    /// Stable lowercase label (`fed status`, `/fleet/health`, metrics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Up => "up",
+            ShardHealth::Degraded => "degraded",
+            ShardHealth::Down => "down",
+        }
+    }
+
+    fn from_consecutive_failures(failures: u64) -> ShardHealth {
+        match failures {
+            0 => ShardHealth::Up,
+            f if f >= DOWN_AFTER_FAILURES => ShardHealth::Down,
+            _ => ShardHealth::Degraded,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A point-in-time snapshot of one shard's health, for `fed status`.
@@ -84,6 +149,15 @@ pub struct ShardStatus {
     pub failovers: u64,
     /// Fan-outs this shard failed to answer within the budget.
     pub timeouts: u64,
+    /// Failures (error or timeout) since the last success.
+    pub consecutive_failures: u64,
+}
+
+impl ShardStatus {
+    /// The health band the failure run places this shard in.
+    pub fn health(&self) -> ShardHealth {
+        ShardHealth::from_consecutive_failures(self.consecutive_failures)
+    }
 }
 
 /// A point-in-time snapshot of the federation, for `fed status`.
@@ -98,6 +172,58 @@ pub struct FedStatus {
     /// Per-shard health.
     pub shards: Vec<ShardStatus>,
 }
+
+impl FedStatus {
+    /// The `/fleet/health` JSON body: federation identity, the partial
+    /// flag, and every shard's counters with its derived health band.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"ns\":\"{}\",\"addr\":\"{}\",\"health\":\"{}\",\"replicas\":{},\
+                     \"ok\":{},\"errors\":{},\"failovers\":{},\"timeouts\":{},\
+                     \"consecutive_failures\":{}}}",
+                    jescape(&s.ns),
+                    jescape(&s.addr),
+                    s.health(),
+                    s.replicas,
+                    s.ok,
+                    s.errors,
+                    s.failovers,
+                    s.timeouts,
+                    s.consecutive_failures,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"logical\":\"{}\",\"generation\":{},\"last_partial\":{},\"shards\":[{}]}}",
+            jescape(&self.logical),
+            self.generation,
+            self.last_partial,
+            shards.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping for namespace/address values.
+fn jescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One fleet-scatter op applied to a peer (trace pull, registry
+/// scrape) — shared across the scatter's worker threads.
+type FleetCall<T> = dyn Fn(&dyn RemoteQuerySystem) -> Result<T, RemoteError> + Send + Sync;
 
 /// One shard's client set: the primary plus failover replicas.
 struct Shard {
@@ -230,9 +356,103 @@ impl FedRemote {
                     errors: shard.stats.errors.load(Ordering::Relaxed),
                     failovers: shard.stats.failovers.load(Ordering::Relaxed),
                     timeouts: shard.stats.timeouts.load(Ordering::Relaxed),
+                    consecutive_failures: shard.stats.consecutive_failures.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
+    }
+
+    /// Every peer of the federation — each shard's primary plus its
+    /// attached replicas — with the node label fleet output uses for it
+    /// (`<shard-ns>@<addr>`; replicas have no map address, so they are
+    /// labeled `<shard-ns>@replica<i>`).
+    fn fleet_peers(&self) -> Vec<(String, Arc<dyn RemoteQuerySystem>)> {
+        let mut peers = Vec::new();
+        for (entry, shard) in self.map.shards.iter().zip(&self.shards) {
+            peers.push((
+                format!("{}@{}", entry.ns, entry.addr),
+                Arc::clone(&shard.primary),
+            ));
+            for (i, replica) in shard.replicas.lock().unwrap().iter().enumerate() {
+                peers.push((format!("{}@replica{i}", entry.ns), Arc::clone(replica)));
+            }
+        }
+        peers
+    }
+
+    /// Scatters one fleet op to every peer under the fan-out budget.
+    /// Every peer gets a slot in the result; unreachable, failing, or
+    /// over-budget peers yield `None` — the same degrade-don't-fail
+    /// contract scatter queries follow.
+    fn scatter_fleet<T: Send + 'static>(
+        &self,
+        op: &'static str,
+        call: Arc<FleetCall<T>>,
+    ) -> Vec<(String, Option<T>)> {
+        let peers = self.fleet_peers();
+        let deadline = Instant::now() + self.budget;
+        let _span = hac_obs::span!("fed_fleet_scatter", op = op, peers = peers.len());
+        let ctx = hac_obs::current_trace();
+        let (tx, rx) = mpsc::channel();
+        for (i, (_, backend)) in peers.iter().enumerate() {
+            let backend = Arc::clone(backend);
+            let call = Arc::clone(&call);
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let _trace = ctx.map(hac_obs::continue_trace);
+                let _ = tx.send((i, call(backend.as_ref()).ok()));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<(String, Option<T>)> =
+            peers.into_iter().map(|(node, _)| (node, None)).collect();
+        let mut answered = 0usize;
+        while answered < out.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok((i, result)) => {
+                    answered += 1;
+                    out[i].1 = result;
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Pulls every peer's span forest for `trace_id` (wire-v5
+    /// `TraceSpans`) — the transport half of a stitched `/trace/<id>`
+    /// view, shaped for [`hac_obs::http::FleetHooks::trace_spans`].
+    pub fn fleet_trace(&self, trace_id: u64) -> Vec<hac_obs::http::PeerSpans> {
+        self.scatter_fleet(
+            "trace_spans",
+            Arc::new(move |backend: &dyn RemoteQuerySystem| {
+                let bytes = backend.trace_spans_bytes(trace_id)?;
+                hac_obs::trace::decode_spans(&bytes).map_err(RemoteError::UnsupportedQuery)
+            }),
+        )
+        .into_iter()
+        .map(|(node, events)| hac_obs::http::PeerSpans { node, events })
+        .collect()
+    }
+
+    /// Scrapes every peer's metric registry (wire-v5 `Metrics`) — the
+    /// transport half of a `/fleet/metrics` merge, shaped for
+    /// [`hac_obs::http::FleetHooks::metrics`].
+    pub fn fleet_metrics(&self) -> Vec<hac_obs::http::PeerSnapshot> {
+        self.scatter_fleet(
+            "metrics",
+            Arc::new(|backend: &dyn RemoteQuerySystem| {
+                let bytes = backend.metrics_bytes()?;
+                hac_obs::Snapshot::decode(&bytes).map_err(RemoteError::UnsupportedQuery)
+            }),
+        )
+        .into_iter()
+        .map(|(node, snapshot)| hac_obs::http::PeerSnapshot { node, snapshot })
+        .collect()
     }
 }
 
@@ -318,11 +538,13 @@ impl RemoteQuerySystem for FedRemote {
                         Ok(shard_docs) => {
                             ok += 1;
                             stats.ok.fetch_add(1, Ordering::Relaxed);
+                            stats.settle(ns, &self.map.shards[i].ns, true);
                             docs.extend(shard_docs);
                         }
                         Err(e) => {
                             failed += 1;
                             stats.errors.fetch_add(1, Ordering::Relaxed);
+                            stats.settle(ns, &self.map.shards[i].ns, false);
                             hac_obs::counter(
                                 "hac_fed_shard_errors_total",
                                 &[("ns", ns), ("shard", &self.map.shards[i].ns)],
@@ -337,10 +559,9 @@ impl RemoteQuerySystem for FedRemote {
         }
         for (i, done) in answered.iter().enumerate() {
             if !done {
-                self.shards[i]
-                    .stats
-                    .timeouts
-                    .fetch_add(1, Ordering::Relaxed);
+                let stats = &self.shards[i].stats;
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                stats.settle(ns, &self.map.shards[i].ns, false);
                 hac_obs::counter(
                     "hac_fed_shard_timeouts_total",
                     &[("ns", ns), ("shard", &self.map.shards[i].ns)],
@@ -482,6 +703,30 @@ mod tests {
                 None => Ok(id.as_bytes().to_vec()),
             }
         }
+        fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+            if let Some(e) = &self.fail {
+                return Err(e.clone());
+            }
+            let span = hac_obs::Event {
+                name: format!("{}_span", self.ns),
+                fields: vec![],
+                at_micros: 1,
+                duration_micros: Some(2),
+                trace_id: Some(trace_id),
+                span_id: Some(self.ns.len() as u64),
+                parent_span_id: None,
+            };
+            Ok(hac_obs::trace::encode_spans(&[span]))
+        }
+        fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+            if let Some(e) = &self.fail {
+                return Err(e.clone());
+            }
+            let reg = hac_obs::Registry::new();
+            reg.counter("t_shard_docs_total", &[])
+                .add(self.docs.len() as u64);
+            Ok(reg.snapshot().encode())
+        }
     }
 
     fn map2() -> ShardMap {
@@ -594,6 +839,119 @@ mod tests {
         let st = fed.status();
         assert_eq!(st.shards[1].failovers, 1);
         assert_eq!(st.shards[1].ok, 1);
+    }
+
+    #[test]
+    fn health_bands_follow_the_failure_run() {
+        // A shard that fails its first two calls, then recovers.
+        struct Flaky {
+            remaining_failures: AtomicU64,
+        }
+        impl RemoteQuerySystem for Flaky {
+            fn namespace(&self) -> NamespaceId {
+                NamespaceId("lib.1".into())
+            }
+            fn search(&self, _q: &ContentExpr) -> Result<Vec<RemoteDoc>, RemoteError> {
+                let left = self.remaining_failures.load(Ordering::Relaxed);
+                if left > 0 {
+                    self.remaining_failures.store(left - 1, Ordering::Relaxed);
+                    return Err(RemoteError::Unavailable("flaky".into()));
+                }
+                Ok(Vec::new())
+            }
+            fn fetch(&self, id: &str) -> Result<Vec<u8>, RemoteError> {
+                Err(RemoteError::NotFound(id.into()))
+            }
+        }
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![
+                Scripted::ok("lib.0", &["/a"]),
+                Arc::new(Flaky {
+                    remaining_failures: AtomicU64::new(2),
+                }),
+            ],
+            Duration::from_secs(5),
+        );
+
+        fed.search(&ContentExpr::All).unwrap();
+        let st = fed.status();
+        assert_eq!(st.shards[0].health(), ShardHealth::Up);
+        assert_eq!(st.shards[1].health(), ShardHealth::Degraded);
+
+        fed.search(&ContentExpr::All).unwrap();
+        assert_eq!(fed.status().shards[1].consecutive_failures, 2);
+        assert_eq!(fed.status().shards[1].health(), ShardHealth::Degraded);
+
+        // Recovery resets the run outright — health is about the present.
+        fed.search(&ContentExpr::All).unwrap();
+        let st = fed.status();
+        assert_eq!(st.shards[1].consecutive_failures, 0);
+        assert_eq!(st.shards[1].health(), ShardHealth::Up);
+        assert!(!st.last_partial);
+    }
+
+    #[test]
+    fn down_after_enough_consecutive_failures_and_json_reports_it() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![Scripted::ok("lib.0", &["/a"]), Scripted::down("lib.1")],
+            Duration::from_secs(5),
+        );
+        for _ in 0..DOWN_AFTER_FAILURES {
+            fed.search(&ContentExpr::All).unwrap();
+        }
+        let st = fed.status();
+        assert_eq!(st.shards[1].health(), ShardHealth::Down);
+        assert_eq!(st.shards[0].health(), ShardHealth::Up);
+        let json = st.to_json();
+        assert!(json.contains("\"logical\":\"lib\""), "{json}");
+        assert!(json.contains("\"last_partial\":true"), "{json}");
+        assert!(
+            json.contains("\"ns\":\"lib.1\",\"addr\":\"none:1\",\"health\":\"down\""),
+            "{json}"
+        );
+        assert!(json.contains("\"health\":\"up\""), "{json}");
+    }
+
+    #[test]
+    fn fleet_scatter_covers_replicas_and_marks_dead_peers_none() {
+        let fed = FedRemote::with_backends(
+            map2(),
+            vec![
+                Scripted::ok("lib.0", &["/a", "/b"]),
+                Scripted::down("lib.1"),
+            ],
+            Duration::from_secs(5),
+        );
+        fed.add_replica(1, Scripted::ok("lib.1", &["/c"]));
+
+        let peers = fed.fleet_trace(0xbeef);
+        let nodes: Vec<&str> = peers.iter().map(|p| p.node.as_str()).collect();
+        assert_eq!(
+            nodes,
+            vec!["lib.0@none:0", "lib.1@none:1", "lib.1@replica0"]
+        );
+        let s0 = peers[0].events.as_ref().expect("live peer answers");
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0[0].name, "lib.0_span");
+        assert_eq!(s0[0].trace_id, Some(0xbeef));
+        assert!(peers[1].events.is_none(), "dead peer degrades to None");
+        assert!(peers[2].events.is_some(), "replica answers independently");
+
+        let scraped = fed.fleet_metrics();
+        assert_eq!(scraped.len(), 3);
+        let snap = scraped[0].snapshot.as_ref().expect("live peer snapshot");
+        assert_eq!(snap.counter_value("t_shard_docs_total", &[]), Some(2));
+        assert!(scraped[1].snapshot.is_none());
+        assert_eq!(
+            scraped[2]
+                .snapshot
+                .as_ref()
+                .unwrap()
+                .counter_value("t_shard_docs_total", &[]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod map;
 pub mod merge;
 pub mod replica;
 
-pub use coord::{FedConfig, FedRemote, FedStatus, ShardStatus};
+pub use coord::{FedConfig, FedRemote, FedStatus, ShardHealth, ShardStatus, DOWN_AFTER_FAILURES};
 pub use map::{ShardBackend, ShardEntry, ShardMap};
 pub use merge::union_translated;
 pub use replica::{Follower, Replica, SyncReport};

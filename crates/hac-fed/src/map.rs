@@ -272,6 +272,14 @@ impl RemoteQuerySystem for ShardBackend {
     fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
         Ok(self.map.read().unwrap().encode())
     }
+
+    fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+        self.inner.trace_spans_bytes(trace_id)
+    }
+
+    fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        self.inner.metrics_bytes()
+    }
 }
 
 #[cfg(test)]

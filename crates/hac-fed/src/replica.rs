@@ -161,6 +161,25 @@ impl Replica {
             .iter()
             .map(|e| e.hash)
             .collect();
+        // Replica-lag telemetry, measured at sync start (pre-apply):
+        // how many segments behind the primary's trail this replica is,
+        // and how stale its view is against the primary's last commit
+        // stamp. Zero once the pass completes in sync; the wall-clock
+        // gauge is advisory across hosts (the stamp is the primary's
+        // clock) and absent (0) for pre-v2 manifests that carry none.
+        let behind = missing.len() + usize::from(manifest.base != st.base);
+        hac_obs::gauge("hac_fed_replica_lag_segments", &[("ns", &self.ns.0)])
+            .set(missing.len() as i64);
+        let lag_us = if behind == 0 || manifest.committed_at_micros == 0 {
+            0
+        } else {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0)
+                .saturating_sub(manifest.committed_at_micros) as i64
+        };
+        hac_obs::gauge("hac_fed_replica_lag_us", &[("ns", &self.ns.0)]).set(lag_us);
         let mut applied = 0usize;
         for hash in missing {
             let segment = decode_segment(&self.fetch_verified(hash)?)?;
@@ -186,6 +205,11 @@ impl Replica {
         }
         hac_obs::gauge("hac_fed_replica_manifest_seq", &[("ns", &self.ns.0)])
             .set(st.manifest_seq as i64);
+        // The pass applied everything the manifest named: caught up. The
+        // pre-apply readings above survive only when a fetch aborts the
+        // pass mid-way — exactly the case where lag is real.
+        hac_obs::gauge("hac_fed_replica_lag_segments", &[("ns", &self.ns.0)]).set(0);
+        hac_obs::gauge("hac_fed_replica_lag_us", &[("ns", &self.ns.0)]).set(0);
 
         Ok(SyncReport {
             manifest_seq: st.manifest_seq,
@@ -287,5 +311,20 @@ impl RemoteQuerySystem for Replica {
         Err(RemoteError::Unavailable(
             "replica serves search only; fetch from the primary".into(),
         ))
+    }
+
+    /// The replica's own span forest (its process-global event ring),
+    /// so a fleet stitch covers replica-served failover work too.
+    fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+        let mut events = hac_obs::recent_events();
+        events.extend(hac_obs::slow_ops());
+        events.retain(|e| e.trace_id == Some(trace_id));
+        Ok(hac_obs::trace::encode_spans(&events))
+    }
+
+    /// The replica's registry snapshot — this is where its
+    /// `hac_fed_replica_lag_*` gauges reach a fleet scrape.
+    fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        Ok(hac_obs::snapshot().encode())
     }
 }

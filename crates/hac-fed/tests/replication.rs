@@ -121,6 +121,19 @@ fn replica_converges_by_shipping_segments() {
         ids(&replica.search(&ContentExpr::Term("shared".into())).unwrap()),
         vec!["/pub/a.txt", "/pub/b.txt", "/pub/d.txt"]
     );
+
+    // Lag telemetry: a completed pass reads caught-up (the pre-apply
+    // readings survive only when a pass aborts mid-way).
+    let snap = hac_obs::snapshot();
+    let ns = replica.namespace().0;
+    assert_eq!(
+        snap.gauge_value("hac_fed_replica_lag_segments", &[("ns", &ns)]),
+        Some(0)
+    );
+    assert_eq!(
+        snap.gauge_value("hac_fed_replica_lag_us", &[("ns", &ns)]),
+        Some(0)
+    );
 }
 
 #[test]

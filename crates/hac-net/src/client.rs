@@ -982,16 +982,42 @@ impl RemoteQuerySystem for NetRemote {
             other => Err(unexpected(other)),
         }
     }
+
+    fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "trace_spans",
+            RequestBody::TraceSpans {
+                ns: self.ns.0.clone(),
+                trace_id,
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        match self.request(
+            "metrics",
+            RequestBody::Metrics {
+                ns: self.ns.0.clone(),
+            },
+        )? {
+            ResponseBody::Blob(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 /// The minimum negotiated protocol version `body` may be sent on, when
-/// above the baseline: the v4 federation ops are additive, so a pre-v4
-/// server would fail to decode them.
+/// above the baseline: the v4 federation ops and v5 fleet observability
+/// ops are additive, so an older server would fail to decode them.
 fn min_version(body: &RequestBody) -> Option<u16> {
     match body {
         RequestBody::Manifest { .. }
         | RequestBody::Object { .. }
         | RequestBody::ShardMap { .. } => Some(4),
+        RequestBody::TraceSpans { .. } | RequestBody::Metrics { .. } => Some(5),
         _ => None,
     }
 }

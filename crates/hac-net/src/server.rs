@@ -175,7 +175,9 @@ fn cost_slot(body: &RequestBody) -> Option<(&str, usize)> {
         RequestBody::Ping { .. }
         | RequestBody::Capabilities
         | RequestBody::Manifest { .. }
-        | RequestBody::ShardMap { .. } => None,
+        | RequestBody::ShardMap { .. }
+        | RequestBody::TraceSpans { .. }
+        | RequestBody::Metrics { .. } => None,
     }
 }
 
@@ -224,7 +226,7 @@ struct OpStats {
 }
 
 fn op_stats(op: &str) -> &'static OpStats {
-    static STATS: OnceLock<[OpStats; 7]> = OnceLock::new();
+    static STATS: OnceLock<[OpStats; 9]> = OnceLock::new();
     let all = STATS.get_or_init(|| {
         [
             "ping",
@@ -234,6 +236,8 @@ fn op_stats(op: &str) -> &'static OpStats {
             "manifest",
             "object",
             "shard_map",
+            "trace_spans",
+            "metrics",
         ]
         .map(|op| OpStats {
             requests: hac_obs::counter("hac_net_server_requests_total", &[("op", op)]),
@@ -248,6 +252,8 @@ fn op_stats(op: &str) -> &'static OpStats {
         "manifest" => &all[4],
         "object" => &all[5],
         "shard_map" => &all[6],
+        "trace_spans" => &all[7],
+        "metrics" => &all[8],
         _ => &all[3],
     }
 }
@@ -1081,6 +1087,21 @@ fn dispatch(request: Request, backends: &BTreeMap<String, Arc<dyn RemoteQuerySys
                 Err(e) => ResponseBody::Err(WireError::Remote(e)),
             },
         },
+        // The v5 fleet observability ops reuse `Blob`/`Err` the same way.
+        RequestBody::TraceSpans { ns, trace_id } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.trace_spans_bytes(trace_id) {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
+        RequestBody::Metrics { ns } => match backends.get(&ns) {
+            None => ResponseBody::Err(WireError::UnknownNamespace(ns)),
+            Some(backend) => match backend.metrics_bytes() {
+                Ok(bytes) => ResponseBody::Blob(bytes),
+                Err(e) => ResponseBody::Err(WireError::Remote(e)),
+            },
+        },
     };
     let elapsed = start.elapsed().as_micros() as u64;
     let stats = op_stats(op);
@@ -1500,6 +1521,12 @@ mod tests {
         fn shard_map_bytes(&self) -> Result<Vec<u8>, RemoteError> {
             Ok(b"HACF-map-bytes".to_vec())
         }
+        fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+            Ok(format!("HACT-spans-{trace_id:016x}").into_bytes())
+        }
+        fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+            Ok(b"HACS-snapshot-bytes".to_vec())
+        }
     }
 
     #[test]
@@ -1582,6 +1609,73 @@ mod tests {
         assert!(matches!(
             no_map.body,
             ResponseBody::Err(WireError::Remote(RemoteError::NotFound(_)))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn v5_fleet_ops_dispatch_to_backend_hooks() {
+        let server = HacServer::serve(
+            "127.0.0.1:0",
+            vec![Arc::new(FedSrc), Arc::new(Fixed)],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        let spans = ask(
+            &mut conn,
+            &Request::new(
+                1,
+                RequestBody::TraceSpans {
+                    ns: "fed-src".into(),
+                    trace_id: 0xabcd,
+                },
+            ),
+        );
+        assert_eq!(
+            spans.body,
+            ResponseBody::Blob(b"HACT-spans-000000000000abcd".to_vec())
+        );
+
+        let metrics = ask(
+            &mut conn,
+            &Request::new(
+                2,
+                RequestBody::Metrics {
+                    ns: "fed-src".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            metrics.body,
+            ResponseBody::Blob(b"HACS-snapshot-bytes".to_vec())
+        );
+
+        // A backend without an observability surface answers with the
+        // default refusals, not a hang or a closed socket.
+        let no_spans = ask(
+            &mut conn,
+            &Request::new(
+                3,
+                RequestBody::TraceSpans {
+                    ns: "fixed".into(),
+                    trace_id: 7,
+                },
+            ),
+        );
+        assert!(matches!(
+            no_spans.body,
+            ResponseBody::Err(WireError::Remote(RemoteError::UnsupportedQuery(_)))
+        ));
+        let unknown = ask(
+            &mut conn,
+            &Request::new(4, RequestBody::Metrics { ns: "nope".into() }),
+        );
+        assert!(matches!(
+            unknown.body,
+            ResponseBody::Err(WireError::UnknownNamespace(_))
         ));
         server.shutdown();
     }

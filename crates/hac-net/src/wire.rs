@@ -63,6 +63,17 @@
 //! a pre-v4 server that receives one fails to decode the request and
 //! drops the connection, which is why clients only issue these ops on
 //! connections whose handshake negotiated v4.
+//!
+//! ## Protocol evolution (v4 → v5)
+//!
+//! v5 adds two request operations for the fleet observability plane —
+//! `TraceSpans` (a coordinator stitching `/trace/<id>` pulls the span
+//! forest a peer recorded for one trace id, HACT bytes) and `Metrics`
+//! (a fleet scrape pulls a peer's metric-registry snapshot, HACS
+//! bytes). Exactly like v4's additions the change is purely additive:
+//! both new ops answer with the existing `Blob`/`Err` response bodies,
+//! the new variants sit at the end of [`RequestBody`], and clients only
+//! issue them on connections whose handshake negotiated v5.
 
 use std::io::{self, Read, Write};
 
@@ -73,7 +84,7 @@ use hac_index::ContentExpr;
 
 /// Version of the frame payload encoding. Bump on any incompatible change
 /// to [`Request`]/[`Response`].
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Oldest protocol version this build still speaks (v1 peers interoperate
 /// with tracing disabled).
@@ -188,6 +199,23 @@ pub enum RequestBody {
         /// Target namespace (any shard of the federation).
         ns: String,
     },
+    /// (v5) The span forest this server recorded for one trace id (HACT
+    /// bytes) — the pull half of cross-node trace stitching. Answered
+    /// with [`ResponseBody::Blob`]; an id the server never saw yields an
+    /// empty forest, not an error (span rings evict).
+    TraceSpans {
+        /// Target namespace (routes to the exporting backend).
+        ns: String,
+        /// The trace id whose spans are wanted.
+        trace_id: u64,
+    },
+    /// (v5) The server's current metric-registry snapshot (HACS bytes) —
+    /// one node's contribution to a federated metrics scrape. Answered
+    /// with [`ResponseBody::Blob`].
+    Metrics {
+        /// Target namespace (routes to the exporting backend).
+        ns: String,
+    },
 }
 
 impl RequestBody {
@@ -201,6 +229,8 @@ impl RequestBody {
             RequestBody::Manifest { .. } => "manifest",
             RequestBody::Object { .. } => "object",
             RequestBody::ShardMap { .. } => "shard_map",
+            RequestBody::TraceSpans { .. } => "trace_spans",
+            RequestBody::Metrics { .. } => "metrics",
         }
     }
 }

@@ -48,6 +48,9 @@ fn request_strategy() -> impl Strategy<Value = RequestBody> {
         ("[a-z0-9/_.-]{0,12}", "[a-f0-9]{0,64}")
             .prop_map(|(ns, hash)| RequestBody::Object { ns, hash }),
         "[a-z0-9/_.-]{0,12}".prop_map(|ns| RequestBody::ShardMap { ns }),
+        ("[a-z0-9/_.-]{0,12}", any::<u64>())
+            .prop_map(|(ns, trace_id)| RequestBody::TraceSpans { ns, trace_id }),
+        "[a-z0-9/_.-]{0,12}".prop_map(|ns| RequestBody::Metrics { ns }),
     ]
 }
 
@@ -245,7 +248,8 @@ fn version_constant_is_stable() {
     // makes it a conscious one. v3 introduced the compact response codec
     // (negotiated per connection; v1/v2 peers never see it); v4 added the
     // federation ops (`Manifest`/`Object`/`ShardMap`), additive request
-    // variants answered with pre-existing response bodies.
-    assert_eq!(PROTOCOL_VERSION, 4);
+    // variants answered with pre-existing response bodies; v5 added the
+    // fleet observability ops (`TraceSpans`/`Metrics`) the same way.
+    assert_eq!(PROTOCOL_VERSION, 5);
     assert_eq!(MIN_PROTOCOL_VERSION, 1);
 }

@@ -102,14 +102,16 @@ impl V1Server {
                             title: "Legacy Doc".to_string(),
                         }]),
                         RequestBody::Fetch { .. } => ResponseBody::Blob(b"legacy bytes".to_vec()),
-                        // A real v1 server cannot even decode the v4
-                        // federation ops; this simulated one never sees
-                        // them because the client refuses to send them on
-                        // a v1-negotiated connection.
+                        // A real v1 server cannot even decode the v4/v5
+                        // ops; this simulated one never sees them because
+                        // the client refuses to send them on a
+                        // v1-negotiated connection.
                         RequestBody::Manifest { .. }
                         | RequestBody::Object { .. }
-                        | RequestBody::ShardMap { .. } => {
-                            ResponseBody::Err(WireError::BadRequest("v4 op on v1 server".into()))
+                        | RequestBody::ShardMap { .. }
+                        | RequestBody::TraceSpans { .. }
+                        | RequestBody::Metrics { .. } => {
+                            ResponseBody::Err(WireError::BadRequest("v4+ op on v1 server".into()))
                         }
                     };
                     let resp = V1Response { id: req.id, body };

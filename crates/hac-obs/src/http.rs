@@ -15,6 +15,18 @@
 //! | `/trace/<id>`   | assembled span tree for one trace id, JSON           |
 //! | `/timeseries`   | windowed series (`?metric=<name>&window=<secs>`)     |
 //! | `/alerts`       | SLO objective states + transition history, JSON      |
+//! | `/fleet/metrics`| fleet-merged exposition, every sample `node`-labeled |
+//! | `/fleet/health` | per-shard health + replica lag JSON                  |
+//!
+//! A server started with [`ObsServer::serve_fleet`] additionally follows
+//! the federation: `/trace/<id>` scatter-fetches the span forest from
+//! every peer (shards and their replicas) under a deadline budget and
+//! stitches the union under the local request span — remote spans nest
+//! automatically because the wire propagates `parent_span_id` — marking
+//! the result `"partial":true` when a peer could not answer, never
+//! erroring. The fetching itself lives behind [`FleetHooks`]: this crate
+//! owns assembly and rendering, the caller (who has a `hac-net` client)
+//! owns transport.
 //!
 //! Only `GET` is served; request paths are percent-decoded before
 //! routing; every response closes the connection. When the bounded
@@ -59,6 +71,42 @@ impl Default for ObsServerConfig {
 
 /// Caller-supplied `/statusz` payload producer (must return JSON).
 pub type StatusFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// One peer's contribution to a stitched trace: its node label and the
+/// span forest it returned (`None` when it was unreachable or timed out
+/// inside the fetch budget).
+pub struct PeerSpans {
+    /// Node label (`<shard-ns>@<addr>` by convention).
+    pub node: String,
+    /// Decoded span events, or `None` for an unreachable peer.
+    pub events: Option<Vec<crate::Event>>,
+}
+
+/// One peer's contribution to a fleet metrics scrape.
+pub struct PeerSnapshot {
+    /// Node label.
+    pub node: String,
+    /// The peer's registry snapshot, or `None` for an unreachable peer.
+    pub snapshot: Option<crate::Snapshot>,
+}
+
+/// Transport callbacks a fleet-aware [`ObsServer`] stitches with. The
+/// closures are expected to scatter to the current federation under
+/// their own deadline budget and report unreachable peers as `None`
+/// entries rather than failing — the PR-9 partial-result contract.
+/// A shell with no federation mounted returns empty vectors.
+#[derive(Clone)]
+pub struct FleetHooks {
+    /// This node's own label in merged output (e.g. `coordinator` or its
+    /// serve address).
+    pub self_node: String,
+    /// Fetch the span forest for a trace id from every peer.
+    pub trace_spans: Arc<dyn Fn(u64) -> Vec<PeerSpans> + Send + Sync>,
+    /// Scrape every peer's metric registry.
+    pub metrics: Arc<dyn Fn() -> Vec<PeerSnapshot> + Send + Sync>,
+    /// Render the fleet health JSON (shard health, replica lag).
+    pub health: Arc<dyn Fn() -> String + Send + Sync>,
+}
 
 struct HttpQueue {
     conns: Mutex<VecDeque<TcpStream>>,
@@ -124,6 +172,27 @@ impl ObsServer {
         status: StatusFn,
         config: ObsServerConfig,
     ) -> std::io::Result<ObsServer> {
+        ObsServer::start(addr, status, config, None)
+    }
+
+    /// Like [`serve_with`](Self::serve_with), additionally following a
+    /// federation: `/trace/<id>` stitches peer spans, `/fleet/metrics`
+    /// merges peer registries, `/fleet/health` reports shard health.
+    pub fn serve_fleet(
+        addr: &str,
+        status: StatusFn,
+        config: ObsServerConfig,
+        fleet: FleetHooks,
+    ) -> std::io::Result<ObsServer> {
+        ObsServer::start(addr, status, config, Some(Arc::new(fleet)))
+    }
+
+    fn start(
+        addr: &str,
+        status: StatusFn,
+        config: ObsServerConfig,
+        fleet: Option<Arc<FleetHooks>>,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let queue = Arc::new(HttpQueue {
@@ -138,10 +207,11 @@ impl ObsServer {
         for _ in 0..workers {
             let queue = Arc::clone(&queue);
             let status = Arc::clone(&status);
+            let fleet = fleet.clone();
             threads.push(std::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
                     let io_timeout = queue.io_timeout;
-                    let _ = serve_connection(stream, &status, io_timeout);
+                    let _ = serve_connection(stream, &status, fleet.as_deref(), io_timeout);
                 }
             }));
         }
@@ -192,6 +262,7 @@ impl Drop for ObsServer {
 fn serve_connection(
     mut stream: TcpStream,
     status: &StatusFn,
+    fleet: Option<&FleetHooks>,
     io_timeout: Duration,
 ) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(io_timeout));
@@ -289,19 +360,145 @@ fn serve_connection(
                 // A span can sit in either (or both) rings; assembly dedups.
                 let mut events = crate::recent_events();
                 events.extend(crate::slow_ops());
-                let tree = trace::assemble(&events, id);
-                if tree.roots.is_empty() {
-                    respond(&mut stream, 404, "text/plain", "unknown trace id\n")
-                } else {
-                    respond(&mut stream, 200, "application/json", &tree.to_json())
+                match fleet {
+                    Some(hooks) => {
+                        let body = stitched_trace_json(hooks, id, events);
+                        match body {
+                            Some(json) => respond(&mut stream, 200, "application/json", &json),
+                            None => respond(&mut stream, 404, "text/plain", "unknown trace id\n"),
+                        }
+                    }
+                    None => {
+                        let tree = trace::assemble(&events, id);
+                        if tree.roots.is_empty() {
+                            respond(&mut stream, 404, "text/plain", "unknown trace id\n")
+                        } else {
+                            respond(&mut stream, 200, "application/json", &tree.to_json())
+                        }
+                    }
                 }
             }
             // Malformed ids and unknown ids look the same to a client:
             // there is no such trace resource.
             None => respond(&mut stream, 404, "text/plain", "unknown trace id\n"),
         },
+        "fleet_metrics" => match fleet {
+            Some(hooks) => respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &fleet_metrics_text(hooks),
+            ),
+            None => respond(&mut stream, 404, "text/plain", "not a fleet node\n"),
+        },
+        "fleet_health" => match fleet {
+            Some(hooks) => respond(&mut stream, 200, "application/json", &(hooks.health)()),
+            None => respond(&mut stream, 404, "text/plain", "not a fleet node\n"),
+        },
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
+}
+
+/// Stitches local + peer spans for one trace id into the `/trace/<id>`
+/// JSON. Remote spans nest under local ones automatically: the wire
+/// propagated the trace context, so a peer's `net_server_request` span
+/// carries the local client span as `parent_span_id`, and [`trace::
+/// assemble`] attaches it there (orphans — parent evicted or on a third
+/// node — surface as extra roots, not losses). Every remote span is
+/// tagged `node=<peer>`; unreachable peers mark the result partial
+/// instead of failing it. Returns `None` only when no node knows the id.
+fn stitched_trace_json(
+    hooks: &FleetHooks,
+    id: u64,
+    mut events: Vec<crate::Event>,
+) -> Option<String> {
+    let started = std::time::Instant::now();
+    crate::counter("hac_fleet_stitch_total", &[]).inc();
+    let peers = (hooks.trace_spans)(id);
+    let mut partial = false;
+    let mut peer_meta: Vec<String> = Vec::with_capacity(peers.len());
+    for peer in peers {
+        match peer.events {
+            Some(remote) => {
+                let remote: Vec<crate::Event> = remote
+                    .into_iter()
+                    .filter(|e| e.trace_id == Some(id))
+                    .map(|mut e| {
+                        if !e.fields.iter().any(|(k, _)| k == "node") {
+                            e.fields.push(("node".to_string(), peer.node.clone()));
+                        }
+                        e
+                    })
+                    .collect();
+                peer_meta.push(format!(
+                    "{{\"node\":{},\"ok\":true,\"spans\":{}}}",
+                    crate::events::jstr(&peer.node),
+                    remote.len()
+                ));
+                events.extend(remote);
+            }
+            None => {
+                partial = true;
+                peer_meta.push(format!(
+                    "{{\"node\":{},\"ok\":false,\"spans\":0}}",
+                    crate::events::jstr(&peer.node)
+                ));
+            }
+        }
+    }
+    if partial {
+        crate::counter("hac_fleet_stitch_partial_total", &[]).inc();
+    }
+    let tree = trace::assemble(&events, id);
+    crate::histogram("hac_fleet_stitch_us", &[]).record(started.elapsed().as_micros() as u64);
+    if tree.roots.is_empty() && !partial {
+        return None;
+    }
+    // Splice the fleet fields into the tree's JSON object head; the
+    // remainder (span_count, roots) is untouched.
+    let base = tree.to_json();
+    Some(format!(
+        "{{\"partial\":{partial},\"node\":{},\"peers\":[{}],{}",
+        crate::events::jstr(&hooks.self_node),
+        peer_meta.join(","),
+        &base[1..]
+    ))
+}
+
+/// Merges the local registry with every peer's scraped snapshot into one
+/// `node`-labeled exposition, mirroring peer series into the global
+/// registry ([`crate::absorb_fleet`]) so the sampler/SLO machinery sees
+/// fleet-level rates. Unreachable peers degrade the scrape to partial
+/// (`hac_fleet_scrape_partial 1`, `hac_fleet_peer_up{node=…} 0`) —
+/// never to an error. Public so `hacsh fleet stats` and `/fleet/metrics`
+/// share one scrape path (same markers, same mirroring).
+pub fn fleet_metrics_text(hooks: &FleetHooks) -> String {
+    crate::counter("hac_fleet_scrape_total", &[]).inc();
+    let peers = (hooks.metrics)();
+    let mut partial = false;
+    let mut scraped: Vec<(String, crate::Snapshot)> = Vec::with_capacity(peers.len());
+    for peer in peers {
+        match peer.snapshot {
+            Some(snap) => {
+                crate::gauge("hac_fleet_peer_up", &[("node", &peer.node)]).set(1);
+                crate::absorb_fleet(&peer.node, &snap);
+                scraped.push((peer.node, snap));
+            }
+            None => {
+                partial = true;
+                crate::counter("hac_fleet_scrape_errors_total", &[]).inc();
+                crate::gauge("hac_fleet_peer_up", &[("node", &peer.node)]).set(0);
+            }
+        }
+    }
+    crate::gauge("hac_fleet_scrape_partial", &[]).set(partial as i64);
+    // Snapshot the local registry *after* the bookkeeping above so the
+    // partial/up markers and mirrored series are part of the output.
+    let mut merged = crate::snapshot().relabeled("node", &hooks.self_node);
+    for (node, snap) in scraped {
+        merged.absorb(snap.relabeled("node", &node));
+    }
+    merged.to_prometheus()
 }
 
 fn normalize_endpoint(path: &str) -> &'static str {
@@ -313,6 +510,8 @@ fn normalize_endpoint(path: &str) -> &'static str {
         "/slow" => "slow",
         "/timeseries" => "timeseries",
         "/alerts" => "alerts",
+        "/fleet/metrics" => "fleet_metrics",
+        "/fleet/health" => "fleet_health",
         p if p.starts_with("/trace/") => "trace",
         _ => "other",
     }
@@ -514,6 +713,174 @@ mod tests {
         assert!(body.contains("\"objectives\":["), "{body}");
 
         server.shutdown();
+    }
+
+    #[test]
+    fn fleet_endpoints_stitch_merge_and_degrade_to_partial() {
+        use std::sync::atomic::AtomicBool;
+
+        let trace_id;
+        {
+            let root = crate::global().span("t_fleet_root", vec![]);
+            trace_id = root.context().unwrap().trace_id;
+        }
+        let remote_span = move |name: &str, span_id: u64| crate::Event {
+            name: name.to_string(),
+            fields: vec![],
+            at_micros: 1,
+            duration_micros: Some(5),
+            trace_id: Some(trace_id),
+            span_id: Some(span_id),
+            parent_span_id: None,
+        };
+
+        // shard1 flips to unreachable when `down` is set; shard0 stays up.
+        let down = Arc::new(AtomicBool::new(false));
+        let peer_reg = Arc::new(crate::Registry::new());
+        peer_reg.counter("t_fleet_peer_total", &[]).add(4);
+        let hooks = FleetHooks {
+            self_node: "coord".to_string(),
+            trace_spans: {
+                let down = Arc::clone(&down);
+                Arc::new(move |id| {
+                    vec![
+                        PeerSpans {
+                            node: "s0@a:1".to_string(),
+                            events: Some(vec![remote_span("t_fleet_s0", 0xA0)]),
+                        },
+                        PeerSpans {
+                            node: "s1@b:2".to_string(),
+                            events: if down.load(Ordering::Relaxed) {
+                                None
+                            } else {
+                                // A span from another trace must be filtered out.
+                                let mut evs = vec![remote_span("t_fleet_s1", 0xA1)];
+                                let mut stray = remote_span("t_fleet_stray", 0xA2);
+                                stray.trace_id = Some(id.wrapping_add(1));
+                                evs.push(stray);
+                                Some(evs)
+                            },
+                        },
+                    ]
+                })
+            },
+            metrics: {
+                let down = Arc::clone(&down);
+                let peer_reg = Arc::clone(&peer_reg);
+                Arc::new(move || {
+                    vec![
+                        PeerSnapshot {
+                            node: "s0@a:1".to_string(),
+                            snapshot: Some(peer_reg.snapshot()),
+                        },
+                        PeerSnapshot {
+                            node: "s1@b:2".to_string(),
+                            snapshot: if down.load(Ordering::Relaxed) {
+                                None
+                            } else {
+                                Some(peer_reg.snapshot())
+                            },
+                        },
+                    ]
+                })
+            },
+            health: Arc::new(|| "{\"shards\":[{\"shard\":0,\"health\":\"up\"}]}".to_string()),
+        };
+        let status: StatusFn = Arc::new(String::new);
+        let mut server =
+            ObsServer::serve_fleet("127.0.0.1:0", status, ObsServerConfig::default(), hooks)
+                .unwrap();
+        let addr = server.local_addr();
+
+        // Healthy fleet: spans from both peers, node-tagged, not partial.
+        let (code, body) = get(addr, &format!("/trace/{}", trace::format_id(trace_id)));
+        assert_eq!(code, 200, "{body}");
+        assert!(
+            body.starts_with("{\"partial\":false,\"node\":\"coord\","),
+            "{body}"
+        );
+        assert!(body.contains("\"name\":\"t_fleet_root\""), "{body}");
+        assert!(body.contains("\"name\":\"t_fleet_s0\""), "{body}");
+        assert!(body.contains("\"name\":\"t_fleet_s1\""), "{body}");
+        assert!(
+            !body.contains("t_fleet_stray"),
+            "other-trace span leaked: {body}"
+        );
+        assert!(
+            body.contains("{\"node\":\"s0@a:1\",\"ok\":true,\"spans\":1}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"fields\":{\"node\":\"s0@a:1\"}"),
+            "remote span untagged: {body}"
+        );
+
+        let (code, body) = get(addr, "/fleet/metrics");
+        assert_eq!(code, 200, "{body}");
+        assert!(
+            body.contains("t_fleet_peer_total{node=\"s0@a:1\"} 4"),
+            "{body}"
+        );
+        assert!(
+            body.contains("t_fleet_peer_total{node=\"s1@b:2\"} 4"),
+            "{body}"
+        );
+        assert!(
+            body.contains("hac_fleet_peer_up{node=\"s0@a:1\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("hac_fleet_scrape_partial{node=\"coord\"} 0"),
+            "{body}"
+        );
+        // Peer counters were mirrored into the global registry for SLOs.
+        assert!(
+            body.contains("hac_fleet_t_fleet_peer_total{node=\"s0@a:1\"}"),
+            "{body}"
+        );
+
+        let (code, body) = get(addr, "/fleet/health");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"health\":\"up\""), "{body}");
+
+        // Kill shard1: both endpoints degrade to explicitly-partial output.
+        down.store(true, Ordering::Relaxed);
+        let (code, body) = get(addr, &format!("/trace/{}", trace::format_id(trace_id)));
+        assert_eq!(code, 200, "{body}");
+        assert!(body.starts_with("{\"partial\":true,"), "{body}");
+        assert!(
+            body.contains("{\"node\":\"s1@b:2\",\"ok\":false,\"spans\":0}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"name\":\"t_fleet_s0\""),
+            "reachable peer still stitched: {body}"
+        );
+        let (code, body) = get(addr, "/fleet/metrics");
+        assert_eq!(code, 200, "{body}");
+        assert!(
+            body.contains("hac_fleet_scrape_partial{node=\"coord\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("hac_fleet_peer_up{node=\"s1@b:2\"} 0"),
+            "{body}"
+        );
+        assert!(
+            body.contains("t_fleet_peer_total{node=\"s0@a:1\"} 4"),
+            "{body}"
+        );
+
+        server.shutdown();
+
+        // A non-fleet server 404s the fleet endpoints.
+        let status: StatusFn = Arc::new(String::new);
+        let mut plain = ObsServer::serve("127.0.0.1:0", status).unwrap();
+        let (code, body) = get(plain.local_addr(), "/fleet/metrics");
+        assert_eq!((code, body.as_str()), (404, "not a fleet node\n"));
+        let (code, _) = get(plain.local_addr(), "/fleet/health");
+        assert_eq!(code, 404);
+        plain.shutdown();
     }
 
     #[test]

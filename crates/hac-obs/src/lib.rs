@@ -181,6 +181,72 @@ pub fn set_slow_op_threshold_micros(micros: u64) {
     global().set_slow_op_threshold_micros(micros)
 }
 
+/// Last-seen totals per mirrored fleet counter, so repeated scrapes add
+/// only the delta (mirrored counters stay monotonic).
+static FLEET_LAST: OnceLock<parking_lot::Mutex<std::collections::HashMap<MetricId, u64>>> =
+    OnceLock::new();
+
+/// Mirrors a peer's scraped metric snapshot into the *global* registry
+/// under fleet names, feeding the sampler/SLO machinery with fleet-level
+/// series:
+///
+/// * every counter `hac_x_total{…}` becomes
+///   `hac_fleet_hac_x_total{…,node="<node>"}`, advanced by the delta
+///   since the previous scrape of the same peer (absolute peer totals
+///   would double-count on every scrape);
+/// * every gauge becomes `hac_fleet_<name>{…,node}` set to the peer's
+///   value;
+/// * histograms are not mirrored (percentiles do not merge across
+///   processes; fleet latency objectives read per-node series instead).
+///
+/// Because the mirrors live in the ordinary global registry, the PR-7
+/// sampler windows them like any local metric, so burn-rate SLOs can be
+/// declared over fleet-level rates (`hac_fleet_hac_net_errors_total
+/// rate < 10/s over 60s`). Peer metrics already carrying the
+/// `hac_fleet_` prefix are skipped: a peer that scrapes its own fleet
+/// must not cascade mirrors of mirrors.
+pub fn absorb_fleet(node: &str, snap: &Snapshot) {
+    let last = FLEET_LAST.get_or_init(Default::default);
+    let reg = global().registry();
+    for s in &snap.counters {
+        if s.id.name.starts_with("hac_fleet_") {
+            continue;
+        }
+        let mut id = s.id.clone();
+        id.name = format!("hac_fleet_{}", id.name);
+        id.labels.push(("node".to_string(), node.to_string()));
+        id.labels.sort();
+        let value = s.value.max(0) as u64;
+        let mut seen = last.lock();
+        let prev = seen.insert(id.clone(), value).unwrap_or(0);
+        drop(seen);
+        let labels: Vec<(&str, &str)> = id
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        // A peer restart resets its totals; treat a shrinking counter as
+        // a fresh baseline instead of a negative delta.
+        reg.counter(&id.name, &labels)
+            .add(value.saturating_sub(prev));
+    }
+    for s in &snap.gauges {
+        if s.id.name.starts_with("hac_fleet_") {
+            continue;
+        }
+        let mut id = s.id.clone();
+        id.name = format!("hac_fleet_{}", id.name);
+        id.labels.push(("node".to_string(), node.to_string()));
+        id.labels.sort();
+        let labels: Vec<(&str, &str)> = id
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        reg.gauge(&id.name, &labels).set(s.value as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +530,124 @@ mod tests {
         let snap = snapshot();
         assert!(snap.counter_value("t_global_shared_total", &[]).unwrap() >= 2);
         let _ = prometheus();
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrips_and_rejects_corruption() {
+        let reg = Registry::new();
+        reg.counter("t_codec_total", &[("ns", "lib"), ("shard", "0")])
+            .add(42);
+        reg.gauge("t_codec_depth", &[]).set(-7);
+        let h = reg.histogram("t_codec_us", &[("op", "search")]);
+        h.record(3);
+        h.record(900);
+        reg.set_help("t_codec_total", "codec test counter");
+        let snap = reg.snapshot();
+
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).expect("roundtrip");
+        assert_eq!(back.to_prometheus(), snap.to_prometheus());
+        assert_eq!(
+            back.counter_value("t_codec_total", &[("ns", "lib"), ("shard", "0")]),
+            Some(42)
+        );
+        assert_eq!(back.gauge_value("t_codec_depth", &[]), Some(-7));
+        assert_eq!(
+            back.histogram_count("t_codec_us", &[("op", "search")]),
+            Some(2)
+        );
+        assert_eq!(
+            back.help.get("t_codec_total").map(String::as_str),
+            Some("codec test counter")
+        );
+
+        // An empty snapshot also roundtrips.
+        let empty = Snapshot::decode(&Snapshot::default().encode()).unwrap();
+        assert!(empty.counters.is_empty() && empty.gauges.is_empty());
+
+        // Every truncation is rejected, as are bad magic/version/trailing.
+        for n in 0..bytes.len() {
+            assert!(Snapshot::decode(&bytes[..n]).is_err(), "truncated at {n}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(Snapshot::decode(&bad).unwrap_err().contains("magic"));
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(Snapshot::decode(&bad).unwrap_err().contains("version"));
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(Snapshot::decode(&bad).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn relabeled_absorb_merge_keeps_exposition_invariants() {
+        let a = Registry::new();
+        a.counter("t_merge_total", &[("ns", "lib")]).add(1);
+        a.histogram("t_merge_us", &[]).record(5);
+        let b = Registry::new();
+        b.counter("t_merge_total", &[("ns", "lib")]).add(2);
+        b.gauge("t_merge_depth", &[]).set(9);
+
+        let mut merged = a.snapshot().relabeled("node", "a:1");
+        merged.absorb(b.snapshot().relabeled("node", "b:2"));
+        let text = merged.to_prometheus();
+        assert!(
+            text.contains("t_merge_total{node=\"a:1\",ns=\"lib\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_merge_total{node=\"b:2\",ns=\"lib\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("t_merge_depth{node=\"b:2\"} 9"), "{text}");
+        assert!(text.contains("t_merge_us_count{node=\"a:1\"} 1"), "{text}");
+        // The sorted-by-id invariant holds after absorb: one TYPE line
+        // per metric name even with samples from two nodes.
+        assert_eq!(text.matches("# TYPE t_merge_total counter").count(), 1);
+    }
+
+    #[test]
+    fn absorb_fleet_mirrors_deltas_and_skips_fleet_prefixed_series() {
+        let peer = Registry::new();
+        peer.counter("t_absorb_src_total", &[("ns", "lib")]).add(5);
+        peer.gauge("t_absorb_lag", &[]).set(3);
+        peer.counter("hac_fleet_t_no_cascade_total", &[]).inc();
+        absorb_fleet("n1:70", &peer.snapshot());
+        let snap = snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "hac_fleet_t_absorb_src_total",
+                &[("node", "n1:70"), ("ns", "lib")]
+            ),
+            Some(5)
+        );
+        assert_eq!(
+            snap.gauge_value("hac_fleet_t_absorb_lag", &[("node", "n1:70")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "hac_fleet_hac_fleet_t_no_cascade_total",
+                &[("node", "n1:70")]
+            ),
+            None,
+            "fleet mirrors must not cascade"
+        );
+
+        // A second scrape adds only the delta; a shrinking total (peer
+        // restart) is a fresh baseline, not a negative delta.
+        peer.counter("t_absorb_src_total", &[("ns", "lib")]).add(2);
+        absorb_fleet("n1:70", &peer.snapshot());
+        let grown = Registry::new();
+        grown.counter("t_absorb_src_total", &[("ns", "lib")]).add(1); // "restarted" peer
+        absorb_fleet("n1:70", &grown.snapshot());
+        assert_eq!(
+            snapshot().counter_value(
+                "hac_fleet_t_absorb_src_total",
+                &[("node", "n1:70"), ("ns", "lib")]
+            ),
+            Some(7)
+        );
     }
 }

@@ -316,6 +316,75 @@ const CURATED_HELP: &[(&str, &str)] = &[
         "Spans exceeding the slow-op threshold",
     ),
     ("hac_span_duration_us", "Span durations by span name"),
+    (
+        "hac_fed_scatter_total",
+        "Federated fan-outs started by the coordinator",
+    ),
+    (
+        "hac_fed_scatter_micros",
+        "Wall time of one federated fan-out (scatter to gather)",
+    ),
+    (
+        "hac_fed_failover_total",
+        "Shard answers served by a replica after the primary failed",
+    ),
+    (
+        "hac_fed_shard_errors_total",
+        "Shard answers that ended in an error (after failover)",
+    ),
+    (
+        "hac_fed_shard_timeouts_total",
+        "Shards that missed the fan-out deadline budget",
+    ),
+    (
+        "hac_fed_partial_total",
+        "Fan-outs degraded to an explicitly partial result",
+    ),
+    (
+        "hac_fed_segments_shipped_total",
+        "Index segments fetched and replayed by replicas",
+    ),
+    (
+        "hac_fed_replica_manifest_seq",
+        "Manifest revision a replica has applied",
+    ),
+    (
+        "hac_fed_replica_lag_segments",
+        "Segments behind the primary's manifest at sync start",
+    ),
+    (
+        "hac_fed_replica_lag_us",
+        "Wall-clock lag behind the primary's last commit stamp",
+    ),
+    (
+        "hac_fed_shard_health",
+        "Shard health band from consecutive failures (0 up, 1 degraded, 2 down)",
+    ),
+    (
+        "hac_fleet_scrape_total",
+        "Fleet metric scrapes (peer registries pulled)",
+    ),
+    (
+        "hac_fleet_scrape_errors_total",
+        "Peer registries that failed to answer a fleet scrape",
+    ),
+    (
+        "hac_fleet_scrape_partial",
+        "Whether the last fleet scrape was missing peers (0/1)",
+    ),
+    (
+        "hac_fleet_peer_up",
+        "Per-peer reachability at the last fleet scrape (0/1)",
+    ),
+    ("hac_fleet_stitch_total", "Cross-node trace stitches served"),
+    (
+        "hac_fleet_stitch_partial_total",
+        "Trace stitches missing at least one peer's spans",
+    ),
+    (
+        "hac_fleet_stitch_us",
+        "Wall time of one cross-node trace stitch",
+    ),
 ];
 
 /// `# HELP` text for a metric name: an explicitly registered string, the
@@ -564,6 +633,202 @@ impl Snapshot {
             .collect();
         parts.push(format!("\"histograms\":[{}]", histograms.join(",")));
         format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Snapshot wire magic (wire-v5 `Metrics` payloads).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HACS";
+/// Current snapshot wire format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+impl Snapshot {
+    /// Serializes the snapshot into the versioned binary layout the
+    /// wire-v5 `Metrics` op ships between nodes: counters, gauges, and
+    /// histograms (with exemplars), plus registered help text. The
+    /// layout follows the shard map's idiom — magic and version up
+    /// front, strict arity, loud failures.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.counters.len() * 48);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        let put_id = |out: &mut Vec<u8>, id: &MetricId| {
+            put_str(out, &id.name);
+            out.extend_from_slice(&(id.labels.len() as u32).to_le_bytes());
+            for (k, v) in &id.labels {
+                put_str(out, k);
+                put_str(out, v);
+            }
+        };
+        for samples in [&self.counters, &self.gauges] {
+            out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+            for s in samples.iter() {
+                put_id(&mut out, &s.id);
+                out.extend_from_slice(&s.value.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for h in &self.histograms {
+            put_id(&mut out, &h.id);
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            for b in &h.buckets {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            for e in &h.exemplars {
+                out.extend_from_slice(&e.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.help.len() as u32).to_le_bytes());
+        for (k, v) in &self.help {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out
+    }
+
+    /// Decodes a snapshot encoded by [`Snapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, String> {
+        let mut cur = bytes;
+        let mut take = |n: usize, what: &str| -> Result<&[u8], String> {
+            if cur.len() < n {
+                return Err(format!("metric snapshot truncated at {what}"));
+            }
+            let (head, tail) = cur.split_at(n);
+            cur = tail;
+            Ok(head)
+        };
+        if take(4, "magic")? != SNAPSHOT_MAGIC {
+            return Err("bad metric snapshot magic".to_string());
+        }
+        let version = take(1, "version")?[0];
+        if version != SNAPSHOT_VERSION {
+            return Err(format!("unsupported metric snapshot version {version}"));
+        }
+        let u32_of =
+            |b: &[u8]| -> usize { u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize };
+        let u64_of = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        macro_rules! string {
+            ($what:expr) => {{
+                let len = u32_of(take(4, $what)?);
+                let raw = take(len, $what)?;
+                String::from_utf8(raw.to_vec()).map_err(|_| format!("{} not utf-8", $what))?
+            }};
+        }
+        macro_rules! id {
+            () => {{
+                let name = string!("metric name");
+                let label_count = u32_of(take(4, "label count")?);
+                let mut labels = Vec::with_capacity(label_count.min(16));
+                for _ in 0..label_count {
+                    let k = string!("label key");
+                    let v = string!("label value");
+                    labels.push((k, v));
+                }
+                MetricId { name, labels }
+            }};
+        }
+        let mut snap = Snapshot::default();
+        for kind in ["counter", "gauge"] {
+            let count = u32_of(take(4, kind)?);
+            let samples = if kind == "counter" {
+                &mut snap.counters
+            } else {
+                &mut snap.gauges
+            };
+            for _ in 0..count {
+                let id = id!();
+                let value = i128::from_le_bytes(take(16, "sample value")?.try_into().unwrap());
+                samples.push(Sample { id, value });
+            }
+        }
+        let hist_count = u32_of(take(4, "histogram count")?);
+        for _ in 0..hist_count {
+            let id = id!();
+            let count = u64_of(take(8, "histogram count field")?);
+            let sum = u64_of(take(8, "histogram sum")?);
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for b in &mut buckets {
+                *b = u64_of(take(8, "bucket")?);
+            }
+            let mut exemplars = [0u64; HISTOGRAM_BUCKETS];
+            for e in &mut exemplars {
+                *e = u64_of(take(8, "exemplar")?);
+            }
+            snap.histograms.push(HistogramSample {
+                id,
+                count,
+                sum,
+                buckets,
+                exemplars,
+            });
+        }
+        let help_count = u32_of(take(4, "help count")?);
+        for _ in 0..help_count {
+            let k = string!("help name");
+            let v = string!("help text");
+            snap.help.insert(k, v);
+        }
+        if !cur.is_empty() {
+            return Err("trailing bytes after metric snapshot".to_string());
+        }
+        Ok(snap)
+    }
+
+    /// Returns the snapshot with `key="value"` added to every sample's
+    /// label set — how a fleet merge tags each node's registry before
+    /// unioning them (`node="host:port"`). Samples already carrying the
+    /// key are left alone: a mirrored peer series
+    /// (`hac_fleet_…{node="peer"}`) keeps naming its origin rather than
+    /// the node that happens to re-export it.
+    pub fn relabeled(mut self, key: &str, value: &str) -> Snapshot {
+        let relabel = |id: &mut MetricId| {
+            if id.labels.iter().any(|(k, _)| k == key) {
+                return;
+            }
+            id.labels.push((key.to_string(), value.to_string()));
+            id.labels.sort();
+        };
+        for s in self.counters.iter_mut().chain(self.gauges.iter_mut()) {
+            relabel(&mut s.id);
+        }
+        for h in self.histograms.iter_mut() {
+            relabel(&mut h.id);
+        }
+        self
+    }
+
+    /// Unions another snapshot into this one and restores the sorted-by-id
+    /// invariant [`Snapshot::to_prometheus`] depends on (every label set
+    /// of one name contiguous). Callers tag each side with a
+    /// distinguishing label ([`Snapshot::relabeled`]) first. Ids can
+    /// still collide when a peer shares this process's registry (an
+    /// in-process `fed follow` replica re-exports the coordinator's own
+    /// already-`node`-labeled scrape markers); exact duplicates keep the
+    /// first copy — `self`'s, the freshest — so the exposition never
+    /// emits one series twice.
+    pub fn absorb(&mut self, other: Snapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        for (k, v) in other.help {
+            self.help.entry(k).or_insert(v);
+        }
+        // Stable sorts: within an id, self's samples stay ahead of
+        // absorbed ones, so dedup keeps self's value.
+        self.counters.sort_by(|a, b| a.id.cmp(&b.id));
+        self.counters.dedup_by(|a, b| a.id == b.id);
+        self.gauges.sort_by(|a, b| a.id.cmp(&b.id));
+        self.gauges.dedup_by(|a, b| a.id == b.id);
+        self.histograms.sort_by(|a, b| a.id.cmp(&b.id));
+        self.histograms.dedup_by(|a, b| a.id == b.id);
     }
 }
 

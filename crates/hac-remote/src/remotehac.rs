@@ -134,6 +134,29 @@ impl RemoteQuerySystem for RemoteHac {
                 .map_err(|e| RemoteError::NotFound(format!("object {hash}: {e}")))
         })
     }
+
+    /// Serves this process's recorded spans for one trace id (wire-v5
+    /// `TraceSpans` op), letting a coordinator stitch the spans a
+    /// federated query left here into its own `/trace/<id>` view. Spans
+    /// live in the process-wide rings — the wire server dispatched the
+    /// traced request in this process, so this is where its spans landed.
+    /// A trace this process never saw (or already evicted) is an empty
+    /// forest, not an error.
+    fn trace_spans_bytes(&self, trace_id: u64) -> Result<Vec<u8>, RemoteError> {
+        crate::observed(&self.ns, "trace_spans", || {
+            let mut events = hac_obs::recent_events();
+            events.extend(hac_obs::slow_ops());
+            events.retain(|e| e.trace_id == Some(trace_id));
+            Ok(hac_obs::trace::encode_spans(&events))
+        })
+    }
+
+    /// Serves this process's current metric-registry snapshot (wire-v5
+    /// `Metrics` op) — one node's contribution to a `/fleet/metrics`
+    /// scrape.
+    fn metrics_bytes(&self) -> Result<Vec<u8>, RemoteError> {
+        crate::observed(&self.ns, "metrics", || Ok(hac_obs::snapshot().encode()))
+    }
 }
 
 #[cfg(test)]

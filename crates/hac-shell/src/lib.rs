@@ -81,8 +81,12 @@ pub struct Shell {
     /// Shard servers started by `fed serve` (one per shard).
     fed_servers: Vec<hac_net::HacServer>,
     /// Coordinator behind the most recent `mount … fed://` (for
-    /// `fed status`).
-    fed_remote: Option<Arc<hac_fed::FedRemote>>,
+    /// `fed status`, `fleet stats`, and the obs server's fleet hooks —
+    /// shared so a mount after `obs-serve` is picked up live).
+    fed_remote: Arc<std::sync::Mutex<Option<Arc<hac_fed::FedRemote>>>>,
+    /// Background sync loops for replicas attached with `fed follow`,
+    /// joined on `fed stop`.
+    followers: Vec<hac_fed::Follower>,
 }
 
 impl Default for Shell {
@@ -114,7 +118,8 @@ impl Shell {
             obs_server: None,
             net_addr: Arc::new(std::sync::Mutex::new(None)),
             fed_servers: Vec::new(),
-            fed_remote: None,
+            fed_remote: Arc::new(std::sync::Mutex::new(None)),
+            followers: Vec::new(),
         }
     }
 
@@ -511,7 +516,7 @@ impl Shell {
                     let fed = Arc::new(fed);
                     self.fs
                         .smount(&dir, Arc::clone(&fed) as Arc<dyn RemoteQuerySystem>)?;
-                    self.fed_remote = Some(fed);
+                    *self.fed_remote.lock().unwrap() = Some(fed);
                     Ok(format!(
                         "mounted federated {logical} at {dir} \
                          ({shards} shards, placement generation {generation})\n"
@@ -522,6 +527,7 @@ impl Shell {
                 )),
             },
             "fed" => self.cmd_fed(args),
+            "fleet" => self.cmd_fleet(args),
             "mounts" => match args {
                 [p] => {
                     let namespaces = self.fs.mounts_at(&self.resolve_arg(p)?)?;
@@ -554,18 +560,27 @@ impl Shell {
                             "obs-serve: already running (use `obs-serve stop` first)",
                         ));
                     }
-                    let server = hac_obs::ObsServer::serve(addr.as_str(), self.status_fn())
-                        .map_err(|e| {
-                            ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
-                                e.to_string(),
-                            )))
-                        })?;
+                    // Always fleet-aware: with no federation mounted the
+                    // hooks return empty peer sets, so the fleet
+                    // endpoints degenerate to the local view, and a
+                    // later `mount … fed://` is picked up live.
+                    let server = hac_obs::ObsServer::serve_fleet(
+                        addr.as_str(),
+                        self.status_fn(),
+                        hac_obs::http::ObsServerConfig::default(),
+                        self.fleet_hooks(),
+                    )
+                    .map_err(|e| {
+                        ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                            e.to_string(),
+                        )))
+                    })?;
                     let bound = server.local_addr();
                     self.obs_server = Some(server);
                     Ok(format!(
                         "observability on http://{bound}/ \
                          (/metrics /healthz /statusz /events /slow /trace/<id> \
-                         /timeseries /alerts)\n"
+                         /timeseries /alerts /fleet/metrics /fleet/health)\n"
                     ))
                 }
                 _ => Err(ShellError::Usage(
@@ -630,14 +645,18 @@ impl Shell {
                 hac_obs::start_sampler(std::time::Duration::from_millis(cfg.sample_interval_ms));
                 hac_obs::sample_if_due();
                 match args {
-                    [] => Ok(render_top(&self.fs)),
+                    [] => Ok(render_top(
+                        &self.fs,
+                        self.fed_remote.lock().unwrap().as_deref(),
+                    )),
                     flags => {
                         let (interval, frames) = parse_refresh_flags(flags)
                             .ok_or(ShellError::Usage("top [--watch[=secs]] [--frames=n]"))?;
                         let fs = Arc::clone(&self.fs);
+                        let fed = Arc::clone(&self.fed_remote);
                         Ok(watch_loop(interval, frames, move || {
                             hac_obs::sample_if_due();
-                            render_top(&fs)
+                            render_top(&fs, fed.lock().unwrap().as_deref())
                         }))
                     }
                 }
@@ -704,20 +723,37 @@ impl Shell {
     }
 
     /// The `fed` command family: shard the shell's export across N
-    /// servers (`fed serve`), tear them down (`fed stop`), and inspect
-    /// both sides of a federation (`fed status`).
+    /// servers (`fed serve`), serve exactly one shard of a pre-agreed
+    /// multi-process placement (`fed shard`), attach an in-process read
+    /// replica to a mounted federation (`fed follow`), tear everything
+    /// down (`fed stop`), and inspect both sides of a federation
+    /// (`fed status`).
     fn cmd_fed(&mut self, args: &[String]) -> Result<String, ShellError> {
-        const USAGE: &str = "fed serve <addr> <ns> <shards> [dir] | fed stop | fed status";
+        const USAGE: &str = "fed serve <addr> <ns> <shards> [dir] | \
+                             fed shard <i> <ns> <addr0,addr1,…> [dir] | \
+                             fed follow <shard> | fed stop | fed status";
         match args {
             [word] if word == "stop" => {
+                let followers = self.followers.len();
+                for follower in self.followers.drain(..) {
+                    follower.stop();
+                }
                 if self.fed_servers.is_empty() {
-                    return Ok("no federation serving\n".to_string());
+                    return Ok(if followers > 0 {
+                        format!("stopped {followers} replica followers\n")
+                    } else {
+                        "no federation serving\n".to_string()
+                    });
                 }
                 let n = self.fed_servers.len();
                 for server in self.fed_servers.drain(..) {
                     server.shutdown();
                 }
-                Ok(format!("stopped {n} shard servers\n"))
+                let mut out = format!("stopped {n} shard servers\n");
+                if followers > 0 {
+                    out.push_str(&format!("stopped {followers} replica followers\n"));
+                }
+                Ok(out)
             }
             [word] if word == "status" => {
                 let mut out = String::new();
@@ -727,7 +763,7 @@ impl Shell {
                         out.push_str(&format!("  tcp://{}/\n", server.local_addr()));
                     }
                 }
-                if let Some(fed) = &self.fed_remote {
+                if let Some(fed) = self.fed_remote.lock().unwrap().clone() {
                     let st = fed.status();
                     out.push_str(&format!(
                         "federation {} (generation {}, last result {}):\n",
@@ -741,16 +777,24 @@ impl Shell {
                     ));
                     for shard in &st.shards {
                         out.push_str(&format!(
-                            "  {} @ {}: ok {}, errors {}, failovers {}, \
-                             timeouts {}, replicas {}\n",
+                            "  {} @ {} [{}]: ok {}, errors {}, failovers {}, \
+                             timeouts {}, replicas {}",
                             shard.ns,
                             shard.addr,
+                            shard.health(),
                             shard.ok,
                             shard.errors,
                             shard.failovers,
                             shard.timeouts,
                             shard.replicas,
                         ));
+                        if shard.consecutive_failures > 0 {
+                            out.push_str(&format!(
+                                " ({} consecutive failures)",
+                                shard.consecutive_failures
+                            ));
+                        }
+                        out.push('\n');
                     }
                 }
                 if out.is_empty() {
@@ -842,7 +886,198 @@ impl Shell {
                 self.fed_servers = servers;
                 Ok(out)
             }
+            // One shard of a multi-process federation: every process is
+            // handed the same full peer list (so every copy of the map
+            // agrees on placement) and binds only its own entry. The
+            // map is final from the start — no provisional generation —
+            // because the addresses were agreed before any bind.
+            [word, idx, ns, addrs, rest @ ..] if word == "shard" && rest.len() <= 1 => {
+                if !self.fed_servers.is_empty() {
+                    return Err(ShellError::Usage(
+                        "fed shard: already serving (use `fed stop` first)",
+                    ));
+                }
+                let peers: Vec<String> = addrs.split(',').map(str::to_string).collect();
+                let shard: usize = idx
+                    .parse()
+                    .ok()
+                    .filter(|&i| i < peers.len())
+                    .ok_or(ShellError::Usage("fed shard: <i> must index the peer list"))?;
+                let export = match rest {
+                    [dir] => self.resolve_arg(dir)?,
+                    _ => VPath::root(),
+                };
+                let mut map = hac_fed::ShardMap::new(ns, &peers);
+                map.generation = 2;
+                let map = Arc::new(map);
+                let inner = Arc::new(hac_remote::RemoteHac::new(
+                    &map.shards[shard].ns,
+                    Arc::clone(&self.fs),
+                    export,
+                ));
+                let backend = Arc::new(hac_fed::ShardBackend::new(inner, Arc::clone(&map), shard));
+                let server = hac_net::HacServer::serve(
+                    &peers[shard],
+                    vec![backend as Arc<dyn RemoteQuerySystem>],
+                    hac_net::ServerConfig::default(),
+                )
+                .map_err(|e| {
+                    ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                        e.to_string(),
+                    )))
+                })?;
+                let bound = server.local_addr();
+                let shard_ns = map.shards[shard].ns.clone();
+                self.fed_servers.push(server);
+                Ok(format!(
+                    "serving shard {shard} ({shard_ns}) of {ns} on tcp://{bound}/ \
+                     ({} shards, placement generation {})\n\
+                     mount with: mount <dir> fed://{}/{ns}\n",
+                    map.shard_count(),
+                    map.generation,
+                    map.shards[0].addr,
+                ))
+            }
+            // An in-process read replica of one shard of the MOUNTED
+            // federation: dial the primary, catch up once (so the first
+            // failover read is warm), register as a failover target,
+            // then keep following in the background. The replica speaks
+            // the v5 obs ops too, so fleet scrapes stay complete with
+            // it in the peer set.
+            [word, idx] if word == "follow" => {
+                let fed = self
+                    .fed_remote
+                    .lock()
+                    .unwrap()
+                    .clone()
+                    .ok_or(ShellError::Usage(
+                        "fed follow: mount a federation first (`mount <dir> fed://host:port/ns`)",
+                    ))?;
+                let map = fed.map().clone();
+                let shard: usize =
+                    idx.parse()
+                        .ok()
+                        .filter(|&i| i < map.shards.len())
+                        .ok_or(ShellError::Usage(
+                            "fed follow: <shard> must index the mounted shard list",
+                        ))?;
+                let entry = &map.shards[shard];
+                let source = Arc::new(hac_net::NetRemote::connect(
+                    &entry.ns,
+                    &entry.addr,
+                    hac_net::ClientConfig::default(),
+                ));
+                let replica = Arc::new(hac_fed::Replica::new(source));
+                let report = replica.sync_once().map_err(|e| {
+                    ShellError::Hac(HacError::Remote(hac_core::RemoteError::Unavailable(
+                        format!("fed follow: initial sync failed: {e}"),
+                    )))
+                })?;
+                fed.add_replica(shard, Arc::clone(&replica) as Arc<dyn RemoteQuerySystem>);
+                self.followers
+                    .push(replica.follow(hac_core::remote::RetryPolicy::daemon(
+                        std::time::Duration::from_millis(200),
+                    )));
+                Ok(format!(
+                    "following {} @ {}: caught up to manifest seq {} \
+                     ({} segments applied), registered for failover\n",
+                    entry.ns, entry.addr, report.manifest_seq, report.segments_applied,
+                ))
+            }
             _ => Err(ShellError::Usage(USAGE)),
+        }
+    }
+
+    /// The `fleet` command family: scatter-scrape every peer of the
+    /// mounted federation (primaries and replicas) and merge the result
+    /// the same way `/fleet/metrics` does — one scrape path, two
+    /// front-ends.
+    fn cmd_fleet(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "fleet stats [--prom]";
+        let prom = match args {
+            [word] if word == "stats" => false,
+            [word, flag] if word == "stats" && flag == "--prom" => true,
+            _ => return Err(ShellError::Usage(USAGE)),
+        };
+        if self.fed_remote.lock().unwrap().is_none() {
+            return Ok(
+                "no federation mounted (fleet stats scrapes the peers behind \
+                 `mount … fed://`)\n"
+                    .to_string(),
+            );
+        }
+        let text = hac_obs::http::fleet_metrics_text(&self.fleet_hooks());
+        if prom {
+            return Ok(text);
+        }
+        // Compact summary: the scrape above refreshed the per-peer
+        // up/down markers in the local registry; series counts come from
+        // the merged exposition itself.
+        let snap = hac_obs::snapshot();
+        let mut peers: Vec<(String, i128)> = snap
+            .gauges
+            .iter()
+            .filter(|g| g.id.name == "hac_fleet_peer_up")
+            .filter_map(|g| {
+                let node = g.id.labels.iter().find(|(k, _)| k == "node")?;
+                Some((node.1.clone(), g.value))
+            })
+            .collect();
+        peers.sort();
+        let up = peers.iter().filter(|(_, v)| *v == 1).count();
+        let partial = snap
+            .gauge_value("hac_fleet_scrape_partial", &[])
+            .unwrap_or(0)
+            != 0;
+        let mut out = format!(
+            "fleet scrape: {} peers ({} up, {} down), result {}\n",
+            peers.len(),
+            up,
+            peers.len() - up,
+            if partial { "PARTIAL" } else { "complete" },
+        );
+        for (node, value) in &peers {
+            if *value == 1 {
+                let series = text
+                    .lines()
+                    .filter(|l| !l.starts_with('#') && l.contains(&format!("node=\"{node}\"")))
+                    .count();
+                out.push_str(&format!("  {node:<32} up    {series:>5} series\n"));
+            } else {
+                out.push_str(&format!("  {node:<32} DOWN\n"));
+            }
+        }
+        out.push_str("merged exposition: `fleet stats --prom` or GET /fleet/metrics\n");
+        Ok(out)
+    }
+
+    /// Builds the fleet hooks for [`hac_obs::ObsServer::serve_fleet`]
+    /// and `fleet stats`: thin closures over the mounted federation's
+    /// scatter helpers. With no federation mounted they return empty
+    /// peer sets — the obs endpoints then serve the purely local view.
+    fn fleet_hooks(&self) -> hac_obs::http::FleetHooks {
+        let self_node = self
+            .server_addr()
+            .or_else(|| self.fed_servers.first().map(hac_net::HacServer::local_addr))
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "coordinator".to_string());
+        let fed = |slot: &Arc<std::sync::Mutex<Option<Arc<hac_fed::FedRemote>>>>| {
+            // Clone the handle out so the scatter runs without the lock.
+            slot.lock().unwrap().clone()
+        };
+        let traces = Arc::clone(&self.fed_remote);
+        let metrics = Arc::clone(&self.fed_remote);
+        let health = Arc::clone(&self.fed_remote);
+        hac_obs::http::FleetHooks {
+            self_node,
+            trace_spans: Arc::new(move |id| {
+                fed(&traces).map(|f| f.fleet_trace(id)).unwrap_or_default()
+            }),
+            metrics: Arc::new(move || fed(&metrics).map(|f| f.fleet_metrics()).unwrap_or_default()),
+            health: Arc::new(move || match fed(&health) {
+                Some(f) => format!("{}\n", f.status().to_json()),
+                None => "{\"federation\":null}\n".to_string(),
+            }),
         }
     }
 
@@ -990,9 +1225,9 @@ fn fmt_pct(v: Option<u64>) -> String {
 }
 
 /// One frame of the `top` dashboard: windowed rates, percentiles, daemon
-/// and store health, and the active-alert list, all from the global
-/// time-series layer.
-fn render_top(fs: &HacFs) -> String {
+/// and store health, the federation panel (when one is mounted), and the
+/// active-alert list, all from the global time-series layer.
+fn render_top(fs: &HacFs, fed: Option<&hac_fed::FedRemote>) -> String {
     let ts = hac_obs::timeseries::global();
     let snap = hac_obs::snapshot();
     let s = fs.index_stats();
@@ -1058,6 +1293,40 @@ fn render_top(fs: &HacFs) -> String {
         snap.gauge_value("hac_store_segments_live", &[])
             .unwrap_or(0),
     ));
+    if let Some(fed) = fed {
+        let st = fed.status();
+        let count = |h: hac_fed::ShardHealth| st.shards.iter().filter(|s| s.health() == h).count();
+        out.push_str(&format!(
+            "federation {}: {} shards ({} up, {} degraded, {} down)  last result {}\n",
+            st.logical,
+            st.shards.len(),
+            count(hac_fed::ShardHealth::Up),
+            count(hac_fed::ShardHealth::Degraded),
+            count(hac_fed::ShardHealth::Down),
+            if st.last_partial {
+                "PARTIAL"
+            } else {
+                "complete"
+            },
+        ));
+        // Replica lag, worst case across followed namespaces (the
+        // gauges are per-ns; a caught-up fleet reads 0/0).
+        let worst = |name: &str| {
+            snap.gauges
+                .iter()
+                .filter(|g| g.id.name == name)
+                .map(|g| g.value)
+                .max()
+        };
+        if let (Some(segs), Some(us)) = (
+            worst("hac_fed_replica_lag_segments"),
+            worst("hac_fed_replica_lag_us"),
+        ) {
+            out.push_str(&format!(
+                "           replica lag max {segs} segments, {us} us\n"
+            ));
+        }
+    }
     let status = hac_obs::slo::engine().status();
     let active: Vec<&hac_obs::slo::SloStatus> = status
         .iter()
@@ -1129,8 +1398,9 @@ sact <link> | ssync [path] | find <query> | explain <query>
 curation    : links <dir> | prohibited <dir> | forgive <dir> <i> | pin <link>
 network     : serve <addr> <ns> [dir] | serve stop | serve status | \
 mount <dir> tcp://host:port/ns
-federation  : fed serve <addr> <ns> <shards> [dir] | fed stop | fed status | \
-mount <dir> fed://host:port/ns
+federation  : fed serve <addr> <ns> <shards> [dir] | \
+fed shard <i> <ns> <addr0,addr1,…> [dir] | fed follow <shard> | \
+fed stop | fed status | fleet stats [--prom] | mount <dir> fed://host:port/ns
 observe     : obs-serve <addr>|stop|status | trace <id> | \
 stats [--prom|--events|--watch[=secs]] | top [--watch[=secs]] | slo status
 durability  : store status | store gc [grace] | store checkpoint

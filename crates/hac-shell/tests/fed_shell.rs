@@ -94,3 +94,47 @@ fn fed_usage_errors_are_caught_before_any_socket_work() {
     );
     assert_eq!(sh.exec("fed stop").unwrap(), "no federation serving\n");
 }
+
+#[test]
+fn fed_follow_attaches_a_replica_that_joins_failover_and_fleet_scrapes() {
+    let mut server = Shell::new();
+    server.exec("mkdir /docs").unwrap();
+    server
+        .exec("write /docs/a.txt fingerprint ridge patterns")
+        .unwrap();
+    server
+        .exec("write /docs/b.txt fingerprint whorl atlas")
+        .unwrap();
+    server.exec("ssync").unwrap();
+    let served = server.exec("fed serve 127.0.0.1:0 lib 2 /docs").unwrap();
+    let url = mount_url(&served);
+
+    // `fed follow` needs a mounted federation to attach to.
+    let mut client = Shell::new();
+    assert!(client.exec("fed follow 0").is_err(), "no mount yet");
+    client.exec("mkdir /mnt").unwrap();
+    client.exec(&format!("mount /mnt {url}")).unwrap();
+    assert!(client.exec("fed follow 9").is_err(), "shard out of range");
+
+    let followed = client.exec("fed follow 1").unwrap();
+    assert!(
+        followed.contains("following lib.1 @ ") && followed.contains("registered for failover"),
+        "{followed}"
+    );
+    let status = client.exec("fed status").unwrap();
+    assert!(status.contains("replicas 1"), "{status}");
+
+    // The replica is a fleet peer in its own right, and it speaks the
+    // v5 obs ops — so a scatter-scrape over primaries AND the replica
+    // still comes back complete (3 peers, none down, not partial).
+    let stats = client.exec("fleet stats").unwrap();
+    assert!(
+        stats.contains("fleet scrape: 3 peers (3 up, 0 down), result complete"),
+        "{stats}"
+    );
+    assert!(stats.contains("lib.1@replica0"), "{stats}");
+
+    // Teardown joins the follower thread.
+    let stopped = client.exec("fed stop").unwrap();
+    assert!(stopped.contains("stopped 1 replica followers"), "{stopped}");
+}

@@ -18,8 +18,10 @@ use crate::store::{StoreError, StoreResult};
 
 /// Manifest wire magic.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"HACM";
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u8 = 1;
+/// Current manifest format version. v2 added `committed_at_micros`
+/// (wall-clock commit stamp) after `seq`; v1 manifests still decode,
+/// reporting a zero stamp.
+pub const MANIFEST_VERSION: u8 = 2;
 
 /// One live segment in manifest order (ascending `seq`; replay order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,13 @@ pub struct SegmentEntry {
 pub struct Manifest {
     /// Monotonic manifest revision (bumped on every commit/merge/checkpoint).
     pub seq: u64,
+    /// Wall-clock time (µs since the Unix epoch) this revision was
+    /// written, stamped by the committing store. Zero for pre-v2
+    /// manifests and for manifests never committed. Replicas use the
+    /// delta against their own clock as the wall-clock half of lag
+    /// telemetry (`hac_fed_replica_lag_us`), so it is advisory — clock
+    /// skew makes it an estimate, never a correctness input.
+    pub committed_at_micros: u64,
     /// Full index snapshot all segments replay on top of, if any.
     pub base: Option<ContentHash>,
     /// Doc→path sidecar for the base snapshot, if any: the paths the
@@ -81,6 +90,7 @@ impl Manifest {
         out.extend_from_slice(&MANIFEST_MAGIC);
         out.push(MANIFEST_VERSION);
         out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.committed_at_micros.to_le_bytes());
         for link in [self.base, self.paths] {
             match link {
                 Some(h) => {
@@ -118,7 +128,7 @@ impl Manifest {
             return Err(corrupt("bad magic"));
         }
         let version = take(1, "version")?[0];
-        if version != MANIFEST_VERSION {
+        if version == 0 || version > MANIFEST_VERSION {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
         let u64_of = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
@@ -129,6 +139,11 @@ impl Manifest {
         };
 
         let seq = u64_of(take(8, "seq")?);
+        let committed_at_micros = if version >= 2 {
+            u64_of(take(8, "commit stamp")?)
+        } else {
+            0
+        };
         let base = match take(1, "base flag")?[0] {
             0 => None,
             1 => Some(hash_of(take(32, "base hash")?)),
@@ -158,6 +173,7 @@ impl Manifest {
         }
         Ok(Manifest {
             seq,
+            committed_at_micros,
             base,
             paths,
             segments,
@@ -172,6 +188,7 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             seq: 7,
+            committed_at_micros: 1_700_000_000_000_000,
             base: Some(ContentHash::of(b"base snapshot")),
             paths: Some(ContentHash::of(b"paths sidecar")),
             segments: vec![
@@ -241,6 +258,22 @@ mod tests {
         assert_eq!(missing.len(), 1);
         assert_eq!(missing[0].seq, 5);
         assert!(m.missing_segments(|_| true).is_empty());
+    }
+
+    #[test]
+    fn v1_manifests_still_decode_with_a_zero_stamp() {
+        // Hand-build the v1 layout: no commit stamp after seq.
+        let m = sample();
+        let v2 = m.encode();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v2[..4]); // magic
+        v1.push(1); // version
+        v1.extend_from_slice(&m.seq.to_le_bytes());
+        v1.extend_from_slice(&v2[4 + 1 + 8 + 8..]); // skip the v2 stamp
+        let back = Manifest::decode(&v1).unwrap();
+        assert_eq!(back.committed_at_micros, 0, "v1 reports an absent stamp");
+        assert_eq!(back.seq, m.seq);
+        assert_eq!(back.segments, m.segments);
     }
 
     #[test]
